@@ -1,0 +1,67 @@
+"""Analysis A2 (paper section 5.5): personal devices vs server cores.
+
+Checks the two qualitative claims of the analysis — a recent phone's core can
+beat an older server's core, and 2-5 cores of recent personal devices match
+the fastest server core — and measures a head-to-head simulated run of the
+iPhone SE + MacBook Pro 2016 against the fastest Grid5000 node.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import CollatzApplication
+from repro.bench import device_vs_server, format_comparison
+from repro.devices import device_by_name
+from repro.sim.scenario import DeploymentScenario, ScenarioConfig
+
+
+def measured_throughput(devices, tabs, duration=20.0):
+    app = CollatzApplication()
+    config = ScenarioConfig(
+        application=app,
+        setting="lan",
+        devices=devices,
+        tabs=tabs,
+        duration=duration,
+        warmup=5.0,
+    )
+    outcome = DeploymentScenario(config).run_measurement()
+    return outcome.report.total_throughput * app.ops_per_value
+
+
+def test_device_vs_server_comparison(benchmark):
+    rows = benchmark.pedantic(device_vs_server, args=("collatz",), rounds=1, iterations=1)
+    print("\n" + format_comparison(rows))
+    iphone_vs_old = [
+        row for row in rows
+        if row.personal_device == "iphone-se" and row.server in ("uvb.sophia", "ple42.planet-lab.eu")
+    ]
+    assert all(row.personal_wins_single_core for row in iphone_vs_old)
+    mbpro_vs_dahu = next(
+        row for row in rows
+        if row.personal_device == "mbpro-2016" and row.server == "dahu.grenoble"
+    )
+    benchmark.extra_info["mbpro_cores_to_match_dahu"] = mbpro_vs_dahu.cores_to_match
+    assert 1.0 < mbpro_vs_dahu.cores_to_match <= 5.0
+
+
+def test_two_personal_devices_beat_fastest_server_core(benchmark):
+    """Simulated head-to-head: iPhone SE + one MBPro core vs one dahu core."""
+
+    def run():
+        personal = measured_throughput(
+            [device_by_name("iphone-se"), device_by_name("mbpro-2016")],
+            tabs={"iphone-se": 1, "mbpro-2016": 1},
+        )
+        server = measured_throughput(
+            [device_by_name("dahu.grenoble")], tabs={"dahu.grenoble": 1}
+        )
+        return personal, server
+
+    personal, server = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\niPhone SE + 1 MBPro core: {personal:,.0f} Bignum/s vs "
+          f"dahu.grenoble core: {server:,.0f} Bignum/s")
+    benchmark.extra_info["personal"] = personal
+    benchmark.extra_info["server"] = server
+    assert personal > server

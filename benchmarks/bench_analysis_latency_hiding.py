@@ -1,0 +1,50 @@
+"""Analysis A1 (paper section 5.5): batching hides network latency.
+
+Sweeps the Limiter window (batch size) on the three deployment settings and
+reports the aggregate throughput as a fraction of the no-latency ceiling (the
+sum of the calibrated device rates).  The paper's claim is that batch size 2
+suffices on the LAN/VPN and batch size 4 on the WAN; the sweep shows where
+the efficiency crosses ~95%.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_latency_sweep
+from repro.bench.latency import batch_size_sweep
+
+SETTINGS = {
+    # setting -> (application, paper batch size)
+    "lan": ("raytrace", 2),
+    "vpn": ("raytrace", 2),
+    "wan": ("raytrace", 4),
+}
+
+
+@pytest.mark.parametrize("setting", sorted(SETTINGS))
+def test_latency_hiding_sweep(benchmark, setting):
+    application, paper_batch = SETTINGS[setting]
+    points = benchmark.pedantic(
+        batch_size_sweep,
+        kwargs={
+            "application": application,
+            "setting": setting,
+            "batch_sizes": [1, 2, 4, 8],
+            "duration": 30.0,
+            "warmup": 10.0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + format_latency_sweep(points))
+    by_batch = {point.batch_size: point for point in points}
+    benchmark.extra_info["setting"] = setting
+    benchmark.extra_info["efficiency_by_batch"] = {
+        point.batch_size: round(point.efficiency, 4) for point in points
+    }
+    # Efficiency must be monotone (larger windows never hurt) ...
+    efficiencies = [point.efficiency for point in points]
+    assert all(b >= a - 0.02 for a, b in zip(efficiencies, efficiencies[1:]))
+    # ... and the paper's chosen batch size must already hide the latency.
+    assert by_batch[paper_batch].efficiency > 0.93

@@ -1,0 +1,83 @@
+"""Micro-benchmarks of the pull-stream substrate and the core modules.
+
+Not tied to a specific paper table; these measure the per-value overhead of
+the building blocks (pull-stream pipeline, StreamLender, Limiter, stubborn,
+serialization) so performance regressions in the substrate are caught.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    DistributedMap,
+    Limiter,
+    collect,
+    count,
+    drain,
+    map_,
+    pull,
+    stubborn,
+    values,
+)
+from repro.net.serialization import decode_binary, encode_binary
+from repro.pullstream import async_map, duplex_pair
+
+N = 10_000
+
+
+def test_pullstream_pipeline_throughput(benchmark):
+    def run():
+        return pull(
+            count(N),
+            map_(lambda v: v * 2),
+            map_(lambda v: v + 1),
+            drain(),
+        ).result()
+
+    assert benchmark(run) == N
+
+
+def test_async_map_throughput(benchmark):
+    def run():
+        return pull(count(N), async_map(lambda v, cb: cb(None, v)), drain()).result()
+
+    assert benchmark(run) == N
+
+
+def test_distributed_map_local_worker_throughput(benchmark):
+    def run():
+        dmap = DistributedMap()
+        output = pull(values(list(range(N))), dmap, drain())
+        dmap.add_local_worker(lambda v, cb: cb(None, v))
+        return output.result()
+
+    assert benchmark(run) == N
+
+
+def test_limiter_over_loopback_channel(benchmark):
+    def run():
+        local_end, remote_end = duplex_pair()
+        pull(remote_end.source, async_map(lambda v, cb: cb(None, v)), remote_end.sink)
+        limiter = Limiter(local_end, 4)
+        return pull(values(list(range(N))), limiter, drain()).result()
+
+    assert benchmark(run) == N
+
+
+def test_stubborn_no_failure_overhead(benchmark):
+    def run():
+        return pull(
+            values(list(range(N))), stubborn(lambda v, cb: cb(None, v)), drain()
+        ).result()
+
+    assert benchmark(run) == N
+
+
+def test_binary_encoding_roundtrip(benchmark):
+    payload = bytes(range(256)) * 256  # 64 KiB
+
+    def run():
+        return decode_binary(encode_binary(payload))
+
+    assert benchmark(run) == payload

@@ -1,0 +1,54 @@
+"""Figure 10: pipeline-processing dataflow, one bench per application row.
+
+Each application of the paper's Figure-10 table is run end-to-end with real
+computation on in-process workers (inputs -> Pando -> post-processing),
+measuring the wall-clock throughput of the full pipeline.  The arXiv row is
+included too (it is excluded only from the throughput evaluation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DistributedMap, collect, pull, values
+from repro.apps import registry
+
+
+PIPELINES = {
+    # application, number of inputs, expected unit
+    "collatz": 20,
+    "raytrace": 8,
+    "arxiv": 16,
+    "lender_test": 10,
+    "ml_agent": 6,
+    "imageproc": 16,
+}
+
+
+def run_pipeline(name: str, count: int):
+    if name == "collatz":
+        app = registry.create(name, offset=0, batch=25)
+    elif name == "raytrace":
+        app = registry.create(name, width=16, height=12)
+    elif name == "lender_test":
+        app = registry.create(name, executions_per_value=5)
+    elif name == "ml_agent":
+        app = registry.create(name, steps_per_value=500)
+    else:
+        app = registry.create(name)
+    dmap = DistributedMap(batch_size=2)
+    output = pull(values(list(app.generate_inputs(count))), dmap, collect())
+    for _ in range(4):
+        dmap.add_local_worker(app.process)
+    results = output.result()
+    return app.postprocess(results), results
+
+
+@pytest.mark.parametrize("application", sorted(PIPELINES))
+def test_fig10_pipeline(benchmark, application):
+    count = PIPELINES[application]
+    summary, results = benchmark(run_pipeline, application, count)
+    benchmark.extra_info["application"] = application
+    benchmark.extra_info["inputs"] = count
+    assert len(results) == count
+    assert summary is not None

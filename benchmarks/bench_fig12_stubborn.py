@@ -1,0 +1,52 @@
+"""Figure 12: stubborn processing with failure-prone external data distribution.
+
+The image-processing workload runs over a flaky peer-to-peer store that loses
+a configurable fraction of result uploads (the DAT/WebTorrent failure mode of
+paper section 4.3).  The stubborn feedback loop re-submits inputs until every
+result has verifiably arrived; the bench reports the retry overhead as a
+function of the loss rate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import collect, pull, stubborn, values
+from repro.apps import FlakyP2PStore, ImageProcessingApplication
+from repro.core.stubborn import StubbornStats
+
+
+def run_stubborn(tiles: int, failure_rate: float, seed: int = 11):
+    store = FlakyP2PStore(failure_rate=failure_rate, seed=seed)
+    app = ImageProcessingApplication(store=store)
+    stats = StubbornStats()
+    inputs = list(app.generate_inputs(tiles))
+    output = pull(
+        values(inputs),
+        stubborn(
+            app.process,
+            verify=lambda value, result, cb: store.verify(value["tile_id"], result, cb),
+            stats=stats,
+        ),
+        collect(),
+    )
+    results = output.result()
+    assert len(results) == tiles
+    assert all(store.has_result(value["tile_id"]) for value in inputs)
+    return stats, store
+
+
+@pytest.mark.parametrize("failure_rate", [0.0, 0.2, 0.5])
+def test_fig12_stubborn_processing(benchmark, failure_rate):
+    stats, store = benchmark(run_stubborn, 32, failure_rate)
+    overhead = stats.attempts / 32.0
+    print(f"\nFigure 12: loss={failure_rate:.0%} -> attempts/tile={overhead:.2f} "
+          f"(retries={stats.retries}, lost uploads={store.lost_uploads})")
+    benchmark.extra_info["failure_rate"] = failure_rate
+    benchmark.extra_info["attempts_per_tile"] = overhead
+    benchmark.extra_info["retries"] = stats.retries
+    if failure_rate == 0.0:
+        assert stats.retries == 0
+    else:
+        # expected geometric overhead: 1 / (1 - loss)
+        assert overhead == pytest.approx(1.0 / (1.0 - failure_rate), rel=0.5)

@@ -1,0 +1,51 @@
+"""Figure 4: the deployment example (join, render, crash, take-over).
+
+Replays the paper's Figure-4 storyboard in the simulator: a tablet joins
+first, a faster phone joins later, the tablet crashes mid-run, and the phone
+transparently takes over the crashed tablet's frames.  The bench reports the
+completion time and verifies the ordering and fault-tolerance outcome.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import RaytraceApplication
+from repro.devices import LAN_DEVICES
+from repro.sim.failures import FailureSchedule
+from repro.sim.scenario import DeploymentScenario, ScenarioConfig
+
+
+def run_figure4(frames: int = 12):
+    app = RaytraceApplication()
+    tablet, phone = "novena", "iphone-se"
+    config = ScenarioConfig(
+        application=app,
+        setting="lan",
+        devices=[device for device in LAN_DEVICES if device.name in (tablet, phone)],
+        tabs={tablet: 1, phone: 1},
+        join_times={tablet: 0.0, phone: 2.0},
+        failure_schedule=FailureSchedule().crash(4.0, tablet),
+        heartbeat_interval=0.5,
+        heartbeat_timeout=1.5,
+    )
+    scenario = DeploymentScenario(config)
+    outcome = scenario.run_to_completion(app.generate_inputs(frames))
+    return scenario, outcome
+
+
+def test_fig4_deployment_example(benchmark):
+    scenario, outcome = benchmark.pedantic(run_figure4, rounds=1, iterations=1)
+    print(f"\nFigure 4 replay: {len(outcome.outputs)} frames, "
+          f"completed at t={outcome.completed_at:.2f}s (virtual), "
+          f"{outcome.registry['crashes']} crash, "
+          f"{outcome.lender_stats['values_relent']} value(s) re-lent")
+    for line in outcome.log:
+        print("  " + line)
+    benchmark.extra_info["completed_at"] = outcome.completed_at
+    benchmark.extra_info["crashes"] = outcome.registry["crashes"]
+    benchmark.extra_info["values_relent"] = outcome.lender_stats["values_relent"]
+    assert len(outcome.outputs) == 12
+    assert outcome.registry["crashes"] == 1
+    angles = [result["angle"] for result in outcome.outputs]
+    assert angles == sorted(angles)

@@ -1,0 +1,101 @@
+"""Table 1: programming-model properties, exercised as micro-benchmarks.
+
+The functional checks live in ``tests/core/test_properties_table1.py``; this
+bench measures the cost of the machinery that provides them — the
+StreamLender/DistributedMap overhead per value with one and with many local
+workers, with and without crashes — so regressions in the coordination layer
+are visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DistributedMap, collect, pull, values
+from repro.core import StreamLender
+
+
+N_VALUES = 2_000
+
+
+def run_distributed_map(workers: int, n_values: int = N_VALUES):
+    dmap = DistributedMap(batch_size=2)
+    output = pull(values(list(range(n_values))), dmap, collect())
+    for _ in range(workers):
+        dmap.add_local_worker(lambda v, cb: cb(None, v))
+    return output.result()
+
+
+def test_streaming_map_single_worker(benchmark):
+    result = benchmark(run_distributed_map, 1)
+    assert len(result) == N_VALUES
+
+
+def test_streaming_map_ten_workers(benchmark):
+    result = benchmark(run_distributed_map, 10)
+    assert len(result) == N_VALUES
+
+
+def test_fault_tolerant_relending_overhead(benchmark):
+    """Cost of a run in which half the workers crash mid-stream."""
+
+    def run():
+        from repro.pullstream import DONE
+
+        lender = StreamLender()
+        output = pull(values(list(range(N_VALUES))), lender, collect())
+        subs = []
+        for _ in range(4):
+            lender.lend_stream(lambda err, sub: subs.append(sub))
+
+        # two crashing workers, two healthy ones; the borrow loop is iterative
+        # (not recursive) because thousands of values are borrowed in a row
+        def drive(sub, crash_after=None):
+            state = {"n": 0, "ended": False}
+
+            def answer(end, value):
+                if end is not None:
+                    state["ended"] = True
+                    return
+                state["n"] += 1
+                results.setdefault(sub.id, []).append(value)
+
+            while not state["ended"]:
+                if crash_after is not None and state["n"] >= crash_after:
+                    sub.source(RuntimeError("crash"), lambda _e, _v: None)
+                    return
+                before = state["n"]
+                sub.source(None, answer)
+                if state["n"] == before:
+                    # the answer did not arrive synchronously (parked ask)
+                    return
+
+        results = {}
+        drive(subs[0], crash_after=50)
+        drive(subs[1], crash_after=50)
+        drive(subs[2])
+        from repro.pullstream import values as values_
+
+        subs[2].sink(values_(results.get(subs[2].id, [])))
+        drive(subs[3])
+        subs[3].sink(values_(results.get(subs[3].id, [])))
+        return output
+
+    output = benchmark(run)
+    assert output.done
+
+
+def test_ordering_reorder_buffer_throughput(benchmark):
+    """Raw ReorderBuffer throughput on a worst-case (reversed) permutation."""
+    from repro.core import ReorderBuffer
+
+    def run():
+        buffer = ReorderBuffer()
+        released = []
+        for index in reversed(range(N_VALUES)):
+            buffer.put(index, index)
+            released.extend(buffer.drain_ready())
+        return released
+
+    released = benchmark(run)
+    assert released == list(range(N_VALUES))

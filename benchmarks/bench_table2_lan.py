@@ -1,0 +1,37 @@
+"""Table 2, LAN block: personal devices over Wi-Fi (paper section 5.2).
+
+Regenerates, for each of the six measured applications, the aggregate
+throughput and per-device shares of the LAN deployment (five personal
+devices, batch size 2, WebSocket transport) and compares them with the values
+the paper reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table2_cell, run_cell
+from repro.bench.table2 import MEASURED_APPS
+
+DURATION = 40.0
+WARMUP = 10.0
+
+
+@pytest.mark.parametrize("application", MEASURED_APPS["lan"])
+def test_table2_lan(benchmark, application):
+    cell = benchmark.pedantic(
+        run_cell,
+        args=(application, "lan"),
+        kwargs={"duration": DURATION, "warmup": WARMUP},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + format_table2_cell(cell))
+    benchmark.extra_info["application"] = application
+    benchmark.extra_info["setting"] = "lan"
+    benchmark.extra_info["measured_total"] = cell.measured_total
+    benchmark.extra_info["paper_total"] = cell.paper_total_value
+    benchmark.extra_info["ratio_to_paper"] = cell.ratio_to_paper
+    # The shape must hold: the simulated deployment aggregates the calibrated
+    # device rates to within 10% of the paper's total.
+    assert cell.measured_total == pytest.approx(cell.paper_total_value, rel=0.10)

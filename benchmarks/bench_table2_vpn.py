@@ -1,0 +1,33 @@
+"""Table 2, VPN block: Grid5000 nodes over a VPN (paper section 5.3).
+
+Eight Grid5000 nodes (one core each), WebSocket transport, batch size 2, with
+the master on the MacBook Air behind INRIA's Wi-Fi.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table2_cell, run_cell
+from repro.bench.table2 import MEASURED_APPS
+
+DURATION = 40.0
+WARMUP = 10.0
+
+
+@pytest.mark.parametrize("application", MEASURED_APPS["vpn"])
+def test_table2_vpn(benchmark, application):
+    cell = benchmark.pedantic(
+        run_cell,
+        args=(application, "vpn"),
+        kwargs={"duration": DURATION, "warmup": WARMUP},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + format_table2_cell(cell))
+    benchmark.extra_info["application"] = application
+    benchmark.extra_info["setting"] = "vpn"
+    benchmark.extra_info["measured_total"] = cell.measured_total
+    benchmark.extra_info["paper_total"] = cell.paper_total_value
+    benchmark.extra_info["ratio_to_paper"] = cell.ratio_to_paper
+    assert cell.measured_total == pytest.approx(cell.paper_total_value, rel=0.10)

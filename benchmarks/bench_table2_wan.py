@@ -1,0 +1,34 @@
+"""Table 2, WAN block: PlanetLab EU nodes over the Internet (paper section 5.4).
+
+Seven PlanetLab nodes (one core each), WebRTC transport signalled through the
+public server, batch size 4 (one input processed while up to three are in
+transit).  Image processing is not measured on the WAN, as in the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table2_cell, run_cell
+from repro.bench.table2 import MEASURED_APPS
+
+DURATION = 40.0
+WARMUP = 10.0
+
+
+@pytest.mark.parametrize("application", MEASURED_APPS["wan"])
+def test_table2_wan(benchmark, application):
+    cell = benchmark.pedantic(
+        run_cell,
+        args=(application, "wan"),
+        kwargs={"duration": DURATION, "warmup": WARMUP},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + format_table2_cell(cell))
+    benchmark.extra_info["application"] = application
+    benchmark.extra_info["setting"] = "wan"
+    benchmark.extra_info["measured_total"] = cell.measured_total
+    benchmark.extra_info["paper_total"] = cell.paper_total_value
+    benchmark.extra_info["ratio_to_paper"] = cell.ratio_to_paper
+    assert cell.measured_total == pytest.approx(cell.paper_total_value, rel=0.10)

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Synchronous parallel search: mine a small blockchain (paper section 4.2).
+
+Crypto-currency mining introduces a feedback loop (paper Figure 11): a
+monitor lazily generates mining attempts (block + nonce range) for the
+*current* block, workers search their range, and as soon as a valid nonce is
+found the monitor extends the chain and every subsequent attempt targets the
+next block.  The unordered StreamLender variant is used so a valid nonce is
+never held back behind earlier, uncompleted ranges.
+
+Run with::
+
+    python examples/crypto_mining.py [--blocks 3] [--difficulty 16]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro import DistributedMap, bundle_function, drain, from_iterable, pull
+from repro.apps.crypto import CryptoMiningApplication, MiningMonitor
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--blocks", type=int, default=3, help="blocks to mine")
+    parser.add_argument("--difficulty", type=int, default=14, help="difficulty bits")
+    parser.add_argument("--range-size", type=int, default=2_000, help="nonces per attempt")
+    parser.add_argument("--workers", type=int, default=4, help="number of workers")
+    args = parser.parse_args()
+
+    app = CryptoMiningApplication(
+        difficulty_bits=args.difficulty, range_size=args.range_size
+    )
+    monitor = MiningMonitor(app, target_height=args.blocks)
+    bundle = bundle_function(app.process, name="crypto", application=app)
+
+    # The feedback loop: Pando's outputs feed back into the monitor, which
+    # decides what the next lazily-generated attempts look like.
+    hashes = {"total": 0}
+
+    def handle_result(result) -> None:
+        hashes["total"] += result.get("hashes", 0)
+        monitor.record_result(result)
+        if result.get("found"):
+            print(f"block {result['height']}: nonce {result['nonce']} "
+                  f"after {hashes['total']:,} hashes")
+
+    # Unordered: report a valid nonce as soon as possible (section 4.2).
+    dmap = DistributedMap(ordered=False, batch_size=2)
+    output = pull(from_iterable(monitor.attempts()), dmap, drain(op=handle_result))
+
+    started = time.time()
+    for index in range(args.workers):
+        dmap.add_local_worker(bundle.apply, worker_id=f"miner-{index}")
+    elapsed = time.time() - started
+
+    assert output.done and monitor.done
+    print(f"mined {len(monitor.chain)} blocks in {elapsed:.2f}s "
+          f"({hashes['total'] / max(elapsed, 1e-9):,.0f} hashes/s)")
+    print("chain:", monitor.chain)
+
+
+if __name__ == "__main__":
+    main()

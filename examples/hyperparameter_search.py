@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Hyper-parameter search for a learning agent (paper section 4.1).
+
+Each streamed value is one learning-rate configuration; the worker trains a
+tabular Q-learning agent on a grid world for a fixed number of steps and
+reports the cumulative reward and whether the greedy policy reaches the goal.
+The post-processing stage picks the best learning rate — the local equivalent
+of the paper's hybrid human-machine collaboration where the user watches the
+agent learn and early-aborts bad configurations.
+
+Run with::
+
+    python examples/hyperparameter_search.py [--steps 3000]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import DistributedMap, bundle_function, collect, pull, values
+from repro.apps.ml_agent import MLAgentApplication
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=3_000, help="training steps per configuration")
+    parser.add_argument("--workers", type=int, default=4, help="number of workers")
+    args = parser.parse_args()
+
+    rates = [0.01, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9]
+    app = MLAgentApplication(learning_rates=rates, steps_per_value=args.steps)
+    bundle = bundle_function(app.process, name="ml-agent", application=app)
+
+    configurations = list(app.generate_inputs(len(rates)))
+    dmap = DistributedMap(batch_size=2)
+    output = pull(values(configurations), dmap, collect())
+    for index in range(args.workers):
+        dmap.add_local_worker(bundle.apply, worker_id=f"trainer-{index}")
+
+    results = output.result()
+    print(f"{'learning rate':>14}  {'reward':>10}  {'episodes':>8}  learned")
+    for result in results:
+        print(f"{result['learning_rate']:>14}  {result['total_reward']:>10.1f}  "
+              f"{result['episodes']:>8}  {result['learned']}")
+
+    best = app.postprocess(results)
+    print(f"\nbest learning rate: {best['learning_rate']} "
+          f"(cumulative reward {best['total_reward']:.1f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Stubborn processing with a failure-prone external data store (section 4.3).
+
+The image-processing application distributes its ~168 kB tiles outside of
+Pando (DAT / WebTorrent in the paper).  Because those transfers are
+asynchronous, a worker may report success while the upload of its result
+later fails — so the application only emits an output after verifying the
+download, and re-submits the input otherwise.  That feedback loop is the
+``stubborn`` pull-stream module.
+
+Run with::
+
+    python examples/stubborn_image_processing.py [--tiles 24] [--failure-rate 0.4]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import collect, pull, stubborn, values
+from repro.apps.imageproc import FlakyP2PStore, ImageProcessingApplication
+from repro.core.stubborn import StubbornStats
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tiles", type=int, default=24, help="number of tiles to blur")
+    parser.add_argument("--failure-rate", type=float, default=0.4,
+                        help="probability that an uploaded result never arrives")
+    args = parser.parse_args()
+
+    store = FlakyP2PStore(failure_rate=args.failure_rate, seed=7)
+    app = ImageProcessingApplication(store=store)
+
+    # process(value, cb): blur the tile and upload it through the flaky store.
+    # verify(value, result, cb): check the data actually arrived; otherwise the
+    # stubborn module re-submits the input.
+    def verify(value, result, cb):
+        store.verify(int(value["tile_id"]), result, cb)
+
+    stats = StubbornStats()
+    inputs = list(app.generate_inputs(args.tiles))
+    output = pull(
+        values(inputs),
+        stubborn(app.process, verify=verify, stats=stats),
+        collect(),
+    )
+    results = output.result()
+
+    print(f"blurred {len(results)} tiles through a store losing "
+          f"{100 * args.failure_rate:.0f}% of uploads")
+    print(f"attempts: {stats.attempts}, retries: {stats.retries}, "
+          f"verification failures: {stats.verification_failures}")
+    print(f"store: {store.uploads} uploads, {store.lost_uploads} lost, "
+          f"{len(store.results)} results available")
+    assert len(results) == args.tiles
+    assert all(store.has_result(value["tile_id"]) for value in inputs)
+
+
+if __name__ == "__main__":
+    main()

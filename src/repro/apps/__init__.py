@@ -1,0 +1,50 @@
+"""The paper's applications (section 4), all built on the public Pando API.
+
+Importing this package populates :data:`repro.apps.registry` with factories
+for every application, keyed by the Table-2 column names plus ``arxiv``:
+``collatz``, ``crypto``, ``lender_test``, ``raytrace``, ``imageproc``,
+``ml_agent``, ``arxiv``.
+"""
+
+from .base import Application, ApplicationRegistry, registry
+from .collatz import CollatzApplication, collatz_steps
+from .crypto import CryptoMiningApplication, MiningMonitor, hash_attempt, meets_difficulty
+from .lender_test import LenderTestApplication, run_random_execution
+from .ml_agent import GridWorld, MLAgentApplication, QLearningAgent
+from .raytracer import RaytraceApplication, assemble_animation, render_scene
+from .imageproc import (
+    FlakyP2PStore,
+    ImageProcessingApplication,
+    ImageStore,
+    box_blur,
+    synthesize_tile,
+)
+from .arxiv import ArxivTaggingApplication, SimulatedTagger, SAMPLE_PAPERS
+
+__all__ = [
+    "Application",
+    "ApplicationRegistry",
+    "registry",
+    "CollatzApplication",
+    "collatz_steps",
+    "CryptoMiningApplication",
+    "MiningMonitor",
+    "hash_attempt",
+    "meets_difficulty",
+    "LenderTestApplication",
+    "run_random_execution",
+    "GridWorld",
+    "MLAgentApplication",
+    "QLearningAgent",
+    "RaytraceApplication",
+    "assemble_animation",
+    "render_scene",
+    "FlakyP2PStore",
+    "ImageProcessingApplication",
+    "ImageStore",
+    "box_blur",
+    "synthesize_tile",
+    "ArxivTaggingApplication",
+    "SimulatedTagger",
+    "SAMPLE_PAPERS",
+]

@@ -1,0 +1,132 @@
+"""arXiv crowd-tagging (paper section 4.1).
+
+This application uses the browser as a *user interface* rather than a
+processing environment: each streamed value is the metadata of one paper, and
+the "processing" is a collaborator deciding whether it is interesting — a
+form of crowd-processing the paper likens to launching an online rescue
+search over satellite images.
+
+Since the evaluation excludes this application (the work is done by humans,
+not devices), the reproduction models the taggers: a
+:class:`SimulatedTagger` applies keyword preferences plus a per-tagger
+reading delay, which also makes the application useful for exercising
+Pando's handling of very slow, bursty workers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterator, List, Optional
+
+from .base import Application, NodeCallback, registry
+
+__all__ = ["SimulatedTagger", "ArxivTaggingApplication", "SAMPLE_PAPERS"]
+
+#: A small built-in corpus of paper metadata (title, categories).
+SAMPLE_PAPERS: List[Dict[str, Any]] = [
+    {"id": "1803.08426", "title": "Pando: Personal Volunteer Computing in Browsers", "categories": ["cs.DC"]},
+    {"id": "1904.11402", "title": "Genet: A Quickly Scalable Fat-Tree Overlay for Personal Volunteer Computing using WebRTC", "categories": ["cs.DC"]},
+    {"id": "1903.01699", "title": "BOINC: A Platform for Volunteer Computing", "categories": ["cs.DC"]},
+    {"id": "1603.04467", "title": "TensorFlow: Large-Scale Machine Learning on Heterogeneous Distributed Systems", "categories": ["cs.DC", "cs.LG"]},
+    {"id": "1712.01815", "title": "Mastering Chess and Shogi by Self-Play with a General Reinforcement Learning Algorithm", "categories": ["cs.AI"]},
+    {"id": "2004.05150", "title": "Longformer: The Long-Document Transformer", "categories": ["cs.CL"]},
+    {"id": "1706.03762", "title": "Attention Is All You Need", "categories": ["cs.CL", "cs.LG"]},
+    {"id": "0704.0001", "title": "Calculation of prompt diphoton production cross sections", "categories": ["hep-ph"]},
+]
+
+
+class SimulatedTagger:
+    """A collaborator with keyword interests and a reading speed."""
+
+    def __init__(
+        self,
+        name: str,
+        interests: List[str],
+        seconds_per_paper: float = 30.0,
+        seed: int = 0,
+    ) -> None:
+        self.name = name
+        self.interests = [keyword.lower() for keyword in interests]
+        self.seconds_per_paper = seconds_per_paper
+        self._rng = random.Random(seed)
+
+    def tag(self, paper: Dict[str, Any]) -> Dict[str, Any]:
+        """Decide whether *paper* is interesting to this tagger."""
+        haystack = (
+            paper.get("title", "").lower()
+            + " "
+            + " ".join(paper.get("categories", [])).lower()
+        )
+        matched = [keyword for keyword in self.interests if keyword in haystack]
+        # Humans are not deterministic: a small chance of tagging anything.
+        serendipity = self._rng.random() < 0.05
+        return {
+            "paper_id": paper.get("id"),
+            "tagger": self.name,
+            "interesting": bool(matched) or serendipity,
+            "matched_keywords": matched,
+        }
+
+
+class ArxivTaggingApplication(Application):
+    """Distribute papers to (simulated) human taggers."""
+
+    name = "arxiv"
+    unit = "Papers/s"
+    ops_per_value = 1.0
+    input_size_bytes = 512
+    result_size_bytes = 128
+    dataflow = "pipeline"
+
+    def __init__(
+        self,
+        papers: Optional[List[Dict[str, Any]]] = None,
+        tagger: Optional[SimulatedTagger] = None,
+    ) -> None:
+        self.papers = list(papers or SAMPLE_PAPERS)
+        self.tagger = tagger or SimulatedTagger(
+            "default", interests=["volunteer computing", "webrtc", "cs.dc"]
+        )
+
+    def generate_inputs(self, count: Optional[int] = None) -> Iterator[Any]:
+        index = 0
+        while count is None or index < count:
+            yield dict(self.papers[index % len(self.papers)])
+            index += 1
+
+    def process(self, value: Any, cb: NodeCallback) -> None:
+        try:
+            paper = self._unwrap(value)
+            cb(None, self.tagger.tag(paper))
+        except Exception as exc:
+            cb(exc, None)
+
+    def cost(self, value: Any) -> float:
+        return 1.0
+
+    def simulate_result(self, value: Any) -> Any:
+        paper = self._unwrap(value)
+        return {
+            "paper_id": paper.get("id"),
+            "tagger": self.tagger.name,
+            "interesting": False,
+            "matched_keywords": [],
+            "size_bytes": self.result_size_bytes,
+            "simulated": True,
+        }
+
+    def verify_result(self, value: Any, result: Any) -> bool:
+        return isinstance(result, dict) and "interesting" in result
+
+    def postprocess(self, results) -> Any:
+        """Collect the reading list of interesting papers."""
+        return [result for result in results if result.get("interesting")]
+
+    @staticmethod
+    def _unwrap(value: Any) -> dict:
+        if isinstance(value, dict) and "value" in value and "application" in value:
+            return value["value"]
+        return value
+
+
+registry.register("arxiv", ArxivTaggingApplication)

@@ -1,0 +1,124 @@
+"""Common interface of the paper's applications (section 4).
+
+Every application provides:
+
+* an **input generator** — the values that flow into Pando (camera angles,
+  integers, mining attempts, hyper-parameters, image identifiers, ...);
+* a **processing function** ``process(value, cb)`` following the Pando
+  convention of the paper's Figure 2, performing the *real* computation —
+  used by the local examples, the CLI and the pytest benchmarks;
+* a **cost model** ``cost(value)`` giving the number of elementary operations
+  one value stands for — used by the simulator to derive virtual task
+  durations from the calibrated device rates (Table 2 units: Bignum/s,
+  Hashes/s, Tests/s, Frames/s, Images/s, Steps/s);
+* a cheap **simulated result** used in virtual-time runs where executing the
+  real computation for hundreds of thousands of values would be pointless;
+* wire-size metadata so the network model charges realistic transfer times.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, Optional
+
+__all__ = ["Application", "ApplicationRegistry", "registry"]
+
+NodeCallback = Callable[[Optional[BaseException], Any], None]
+
+
+class Application:
+    """Base class for Pando applications."""
+
+    #: identifier matching the Table-2 column (and device-profile rate key)
+    name: str = "generic"
+    #: unit of the throughput reported by the paper for this application
+    unit: str = "items/s"
+    #: elementary operations represented by one streamed value
+    ops_per_value: float = 1.0
+    #: wire size of one input value in bytes
+    input_size_bytes: int = 64
+    #: wire size of one result in bytes
+    result_size_bytes: int = 64
+    #: dataflow pattern from the paper (pipeline, synchronous-search, stubborn)
+    dataflow: str = "pipeline"
+
+    # ------------------------------------------------------------- interface
+    def generate_inputs(self, count: Optional[int] = None) -> Iterator[Any]:
+        """Yield input values (indefinitely when *count* is ``None``)."""
+        raise NotImplementedError
+
+    def process(self, value: Any, cb: NodeCallback) -> None:
+        """Real processing function (paper Figure 2 convention)."""
+        raise NotImplementedError
+
+    def cost(self, value: Any) -> float:
+        """Work units (elementary operations) represented by *value*."""
+        return self.ops_per_value
+
+    def simulate_result(self, value: Any) -> Any:
+        """Cheap stand-in result used by virtual-time simulations."""
+        return {
+            "application": self.name,
+            "input": self._input_id(value),
+            "size_bytes": self.result_size_bytes,
+            "simulated": True,
+        }
+
+    def verify_result(self, value: Any, result: Any) -> bool:
+        """Check that *result* is a plausible output for *value*."""
+        return result is not None
+
+    def postprocess(self, results: Iterable[Any]) -> Any:
+        """Optional aggregation of the output stream (e.g. GIF assembly)."""
+        return list(results)
+
+    # ------------------------------------------------------------- utilities
+    def wrap_input(self, value: Any) -> Any:
+        """Attach wire-size metadata to an input value for the simulator."""
+        return {
+            "application": self.name,
+            "value": value,
+            "size_bytes": self.input_size_bytes,
+        }
+
+    def processing_function(self) -> Callable[[Any, NodeCallback], None]:
+        """The function to bundle and ship to workers."""
+        return self.process
+
+    @staticmethod
+    def _input_id(value: Any) -> Any:
+        if isinstance(value, dict) and "value" in value:
+            inner = value["value"]
+            return inner if isinstance(inner, (int, float, str)) else repr(inner)
+        return value if isinstance(value, (int, float, str)) else repr(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<{type(self).__name__} name={self.name!r} unit={self.unit!r}>"
+
+
+class ApplicationRegistry:
+    """Name -> factory registry so the CLI and benches can look apps up."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, Callable[..., Application]] = {}
+
+    def register(self, name: str, factory: Callable[..., Application]) -> None:
+        self._factories[name] = factory
+
+    def create(self, name: str, **kwargs: Any) -> Application:
+        try:
+            factory = self._factories[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown application {name!r}; known: {sorted(self._factories)}"
+            ) from None
+        return factory(**kwargs)
+
+    def names(self) -> list:
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+
+#: global registry populated by the application modules on import
+registry = ApplicationRegistry()

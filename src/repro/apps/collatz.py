@@ -1,0 +1,119 @@
+"""Collatz application (paper section 4.1).
+
+The BOINC Collatz Conjecture project searches for the integer that needs the
+largest number of steps of the ``3n+1`` iteration to reach 1.  The paper's
+version was compiled from MATLAB to JavaScript and adapted to use a BigNumber
+library; Python's arbitrary-precision integers play that role here.
+
+One streamed value represents a *batch* of consecutive candidate integers
+(``ops_per_value`` of them), mirroring how the real deployment keeps the
+per-message overhead small relative to the computation; throughput in
+Table-2 units (Bignum/s) is ``values/s * ops_per_value``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from .base import Application, NodeCallback, registry
+
+__all__ = ["CollatzApplication", "collatz_steps"]
+
+
+def collatz_steps(n: int, max_steps: int = 10_000_000) -> int:
+    """Number of Collatz steps needed for *n* to reach 1."""
+    if n < 1:
+        raise ValueError(f"Collatz is defined for positive integers, got {n}")
+    steps = 0
+    while n != 1:
+        if n % 2 == 0:
+            n //= 2
+        else:
+            n = 3 * n + 1
+        steps += 1
+        if steps >= max_steps:
+            raise ValueError(f"exceeded {max_steps} steps; giving up")
+    return steps
+
+
+class CollatzApplication(Application):
+    """Find the candidate with the most Collatz steps in each batch."""
+
+    name = "collatz"
+    unit = "Bignum/s"
+    ops_per_value = 100.0
+    input_size_bytes = 128
+    result_size_bytes = 96
+    dataflow = "pipeline"
+
+    def __init__(
+        self,
+        start: int = 1,
+        batch: Optional[int] = None,
+        offset: int = 2 ** 40,
+    ) -> None:
+        """*offset* shifts candidates into big-number territory (the BOINC
+        project explores very large integers); *batch* overrides
+        ``ops_per_value``."""
+        self.start = start
+        self.offset = offset
+        if batch is not None:
+            self.ops_per_value = float(batch)
+
+    # ------------------------------------------------------------- interface
+    def generate_inputs(self, count: Optional[int] = None) -> Iterator[Any]:
+        batch = int(self.ops_per_value)
+        index = 0
+        current = self.start
+        while count is None or index < count:
+            yield {"first": self.offset + current, "count": batch}
+            current += batch
+            index += 1
+
+    def process(self, value: Any, cb: NodeCallback) -> None:
+        try:
+            spec = self._unwrap(value)
+            first, count = int(spec["first"]), int(spec["count"])
+            best_n, best_steps = first, -1
+            for candidate in range(first, first + count):
+                steps = collatz_steps(candidate)
+                if steps > best_steps:
+                    best_n, best_steps = candidate, steps
+            cb(None, {"n": best_n, "steps": best_steps, "checked": count})
+        except Exception as exc:
+            cb(exc, None)
+
+    def cost(self, value: Any) -> float:
+        spec = self._unwrap(value)
+        return float(spec.get("count", self.ops_per_value))
+
+    def simulate_result(self, value: Any) -> Any:
+        spec = self._unwrap(value)
+        return {
+            "n": spec.get("first"),
+            "steps": 0,
+            "checked": spec.get("count", int(self.ops_per_value)),
+            "size_bytes": self.result_size_bytes,
+            "simulated": True,
+        }
+
+    def verify_result(self, value: Any, result: Any) -> bool:
+        return isinstance(result, dict) and "steps" in result and "n" in result
+
+    def postprocess(self, results) -> Any:
+        """The ``Max`` post-processing stage of Figure 10."""
+        best = None
+        for result in results:
+            if best is None or result["steps"] > best["steps"]:
+                best = result
+        return best
+
+    # ------------------------------------------------------------- internals
+    @staticmethod
+    def _unwrap(value: Any) -> dict:
+        if isinstance(value, dict) and "value" in value and "application" in value:
+            return value["value"]
+        return value
+
+
+registry.register("collatz", CollatzApplication)

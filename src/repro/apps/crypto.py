@@ -1,0 +1,187 @@
+"""Crypto-currency mining — synchronous parallel search (paper section 4.2).
+
+All miners compete to find a nonce such that the hash of (block, nonce) falls
+below a difficulty threshold; once one is found, every miner moves to the
+next block.  This introduces a feedback loop: a monitor lazily generates
+*mining attempts* (current block + a nonce range), Pando's workers test every
+nonce of their range, and the monitor only advances to the next block after a
+valid nonce is reported (paper Figure 11).
+
+One streamed value is one mining attempt covering ``ops_per_value`` nonces;
+throughput in Table-2 units (Hashes/s) is ``values/s * ops_per_value``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Iterator, List, Optional
+
+from .base import Application, NodeCallback, registry
+
+__all__ = ["CryptoMiningApplication", "MiningMonitor", "hash_attempt", "meets_difficulty"]
+
+
+def hash_attempt(block_data: str, nonce: int) -> int:
+    """Double-SHA256 of ``block_data || nonce`` interpreted as an integer."""
+    payload = f"{block_data}:{nonce}".encode("utf-8")
+    digest = hashlib.sha256(hashlib.sha256(payload).digest()).digest()
+    return int.from_bytes(digest, "big")
+
+
+def meets_difficulty(hash_value: int, difficulty_bits: int) -> bool:
+    """True when *hash_value* has at least *difficulty_bits* leading zero bits."""
+    return hash_value < (1 << (256 - difficulty_bits))
+
+
+class CryptoMiningApplication(Application):
+    """Test ranges of nonces against the current block's difficulty."""
+
+    name = "crypto"
+    unit = "Hashes/s"
+    ops_per_value = 5_000.0
+    input_size_bytes = 256
+    result_size_bytes = 96
+    dataflow = "synchronous-search"
+
+    def __init__(
+        self,
+        difficulty_bits: int = 18,
+        range_size: Optional[int] = None,
+        genesis: str = "pando-genesis-block",
+    ) -> None:
+        self.difficulty_bits = difficulty_bits
+        self.genesis = genesis
+        if range_size is not None:
+            self.ops_per_value = float(range_size)
+
+    # ------------------------------------------------------------- interface
+    def generate_inputs(self, count: Optional[int] = None) -> Iterator[Any]:
+        """Open-loop attempt stream (ranges over block 0).
+
+        The closed-loop behaviour with block advancement is provided by
+        :class:`MiningMonitor`; this generator is what the throughput
+        measurement uses, where the block rarely advances within the window.
+        """
+        range_size = int(self.ops_per_value)
+        index = 0
+        while count is None or index < count:
+            yield {
+                "block": self.block_data(0),
+                "height": 0,
+                "start": index * range_size,
+                "count": range_size,
+                "difficulty_bits": self.difficulty_bits,
+            }
+            index += 1
+
+    def process(self, value: Any, cb: NodeCallback) -> None:
+        try:
+            attempt = self._unwrap(value)
+            block = attempt["block"]
+            start, count = int(attempt["start"]), int(attempt["count"])
+            bits = int(attempt.get("difficulty_bits", self.difficulty_bits))
+            for nonce in range(start, start + count):
+                if meets_difficulty(hash_attempt(block, nonce), bits):
+                    cb(
+                        None,
+                        {
+                            "found": True,
+                            "nonce": nonce,
+                            "height": attempt.get("height", 0),
+                            "hashes": nonce - start + 1,
+                        },
+                    )
+                    return
+            cb(
+                None,
+                {
+                    "found": False,
+                    "nonce": None,
+                    "height": attempt.get("height", 0),
+                    "hashes": count,
+                },
+            )
+        except Exception as exc:
+            cb(exc, None)
+
+    def cost(self, value: Any) -> float:
+        attempt = self._unwrap(value)
+        return float(attempt.get("count", self.ops_per_value))
+
+    def simulate_result(self, value: Any) -> Any:
+        attempt = self._unwrap(value)
+        return {
+            "found": False,
+            "nonce": None,
+            "height": attempt.get("height", 0),
+            "hashes": attempt.get("count", int(self.ops_per_value)),
+            "size_bytes": self.result_size_bytes,
+            "simulated": True,
+        }
+
+    def verify_result(self, value: Any, result: Any) -> bool:
+        return isinstance(result, dict) and "found" in result
+
+    # -------------------------------------------------------------- helpers
+    def block_data(self, height: int, previous_nonce: Optional[int] = None) -> str:
+        """Serialized "block" contents for a given chain height."""
+        return f"{self.genesis}/{height}/{previous_nonce if previous_nonce is not None else '-'}"
+
+    @staticmethod
+    def _unwrap(value: Any) -> dict:
+        if isinstance(value, dict) and "value" in value and "application" in value:
+            return value["value"]
+        return value
+
+
+class MiningMonitor:
+    """The feedback-loop monitor of Figure 11.
+
+    It lazily emits mining attempts for the current block — as many as there
+    are participating workers — and advances to the next block once a valid
+    nonce is reported.  ``attempts()`` is a generator suitable for feeding
+    Pando; ``record_result`` must be called with every output.
+    """
+
+    def __init__(self, app: CryptoMiningApplication, target_height: int = 3) -> None:
+        self.app = app
+        self.target_height = target_height
+        self.height = 0
+        self.previous_nonce: Optional[int] = None
+        self.next_range_start = 0
+        self.chain: List[Dict[str, Any]] = []
+
+    @property
+    def done(self) -> bool:
+        """True once the target number of blocks has been mined."""
+        return self.height >= self.target_height
+
+    def attempts(self) -> Iterator[dict]:
+        """Lazily produce mining attempts for the current block."""
+        while not self.done:
+            attempt = {
+                "block": self.app.block_data(self.height, self.previous_nonce),
+                "height": self.height,
+                "start": self.next_range_start,
+                "count": int(self.app.ops_per_value),
+                "difficulty_bits": self.app.difficulty_bits,
+            }
+            self.next_range_start += int(self.app.ops_per_value)
+            yield attempt
+
+    def record_result(self, result: dict) -> None:
+        """Feed one Pando output back into the monitor."""
+        if not result.get("found"):
+            return
+        if result.get("height") != self.height:
+            # A stale result for an already-mined block: ignore it.
+            return
+        self.chain.append(
+            {"height": self.height, "nonce": result["nonce"]}
+        )
+        self.previous_nonce = result["nonce"]
+        self.height += 1
+        self.next_range_start = 0
+
+
+registry.register("crypto", CryptoMiningApplication)

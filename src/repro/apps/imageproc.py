@@ -1,0 +1,207 @@
+"""Open-data image processing: blurring Landsat-8 tiles (paper sections 4.1/4.3).
+
+The paper blurs images from the Landsat-8 open satellite dataset.  It ships
+three variants that differ in how the ~168 kB images reach the workers and
+how the results come back:
+
+* an **http** variant where a server distributes images and receives results
+  synchronously — the worker's processing function only returns once the
+  output image has been fully uploaded (used in the evaluation);
+* **DAT** and **WebTorrent** variants where the data travels through an
+  external, failure-prone peer-to-peer protocol, requiring the *stubborn*
+  feedback loop of section 4.3 because a worker may report success while the
+  download of its result later fails.
+
+Since the real dataset is not available offline, tiles are synthesised
+deterministically from their identifier (same dimensions, same wire weight);
+the blur is a real separable box filter implemented with numpy.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+import numpy as np
+
+from ..errors import ExternalTransferError
+from .base import Application, NodeCallback, registry
+
+__all__ = [
+    "synthesize_tile",
+    "box_blur",
+    "ImageStore",
+    "FlakyP2PStore",
+    "ImageProcessingApplication",
+]
+
+
+def synthesize_tile(tile_id: int, size: int = 64) -> np.ndarray:
+    """Deterministically generate a grayscale tile for *tile_id*.
+
+    The tile mixes smooth gradients and salt-and-pepper noise so that the
+    blur filter has a measurable effect (variance reduction) that tests can
+    assert on.
+    """
+    rng = np.random.default_rng(tile_id)
+    y, x = np.mgrid[0:size, 0:size]
+    gradient = (x + 2 * y) % 97 / 97.0
+    noise = rng.random((size, size))
+    tile = 0.7 * gradient + 0.3 * noise
+    return (tile * 255).astype(np.uint8)
+
+
+def box_blur(image: np.ndarray, radius: int = 2) -> np.ndarray:
+    """Separable box blur with edge clamping."""
+    if radius < 1:
+        return image.copy()
+    padded = np.pad(image.astype(np.float64), radius, mode="edge")
+    kernel = 2 * radius + 1
+    # Horizontal then vertical pass using cumulative sums.
+    cumsum_h = np.cumsum(padded, axis=1)
+    horizontal = (
+        cumsum_h[:, kernel - 1 :] - np.concatenate(
+            [np.zeros((padded.shape[0], 1)), cumsum_h[:, : -kernel]], axis=1
+        )
+    ) / kernel
+    cumsum_v = np.cumsum(horizontal, axis=0)
+    vertical = (
+        cumsum_v[kernel - 1 :, :] - np.concatenate(
+            [np.zeros((1, horizontal.shape[1])), cumsum_v[: -kernel, :]], axis=0
+        )
+    ) / kernel
+    return np.clip(vertical, 0, 255).astype(np.uint8)
+
+
+class ImageStore:
+    """The http server of the paper's evaluated variant.
+
+    Workers fetch tiles by identifier and upload their blurred result; the
+    upload is synchronous, so a result reported through Pando is guaranteed to
+    have been received (paper section 4.1, last paragraph).
+    """
+
+    def __init__(self, tile_size: int = 64) -> None:
+        self.tile_size = tile_size
+        self.results: Dict[int, np.ndarray] = {}
+        self.downloads = 0
+        self.uploads = 0
+
+    def fetch(self, tile_id: int) -> np.ndarray:
+        self.downloads += 1
+        return synthesize_tile(tile_id, self.tile_size)
+
+    def upload(self, tile_id: int, blurred: np.ndarray) -> None:
+        self.uploads += 1
+        self.results[tile_id] = blurred
+
+    def has_result(self, tile_id: int) -> bool:
+        return tile_id in self.results
+
+
+class FlakyP2PStore(ImageStore):
+    """DAT/WebTorrent-like store whose transfers may fail asynchronously.
+
+    ``upload`` succeeds from the worker's point of view, but with probability
+    ``failure_rate`` the data never becomes available to the master — the
+    situation the *stubborn* module must recover from.
+    """
+
+    def __init__(
+        self,
+        tile_size: int = 64,
+        failure_rate: float = 0.3,
+        seed: Optional[int] = 1234,
+    ) -> None:
+        super().__init__(tile_size)
+        self.failure_rate = failure_rate
+        self._rng = random.Random(seed)
+        self.lost_uploads = 0
+
+    def upload(self, tile_id: int, blurred: np.ndarray) -> None:
+        self.uploads += 1
+        if self._rng.random() < self.failure_rate:
+            # The worker's tab closed before the swarm replicated the data.
+            self.lost_uploads += 1
+            return
+        self.results[tile_id] = blurred
+
+    def verify(self, tile_id: int, _result: Any, cb: Callable) -> None:
+        """Verification callback for :func:`repro.core.stubborn.stubborn`."""
+        if self.has_result(tile_id):
+            cb(None, True)
+        else:
+            cb(ExternalTransferError(f"tile {tile_id} never arrived"), False)
+
+
+class ImageProcessingApplication(Application):
+    """Blur Landsat-like tiles distributed through an external store."""
+
+    name = "imageproc"
+    unit = "Images/s"
+    ops_per_value = 1.0
+    #: the paper states 168 kB images are sent for processing
+    input_size_bytes = 168_000
+    result_size_bytes = 168_000
+    dataflow = "pipeline"
+
+    def __init__(
+        self,
+        store: Optional[ImageStore] = None,
+        tile_size: int = 64,
+        blur_radius: int = 2,
+        tiles: int = 1_000,
+    ) -> None:
+        self.store = store or ImageStore(tile_size)
+        self.tile_size = tile_size
+        self.blur_radius = blur_radius
+        self.tiles = tiles
+
+    def generate_inputs(self, count: Optional[int] = None) -> Iterator[Any]:
+        index = 0
+        while count is None or index < count:
+            yield {"tile_id": index % self.tiles}
+            index += 1
+
+    def process(self, value: Any, cb: NodeCallback) -> None:
+        try:
+            spec = self._unwrap(value)
+            tile_id = int(spec["tile_id"])
+            tile = self.store.fetch(tile_id)
+            blurred = box_blur(tile, self.blur_radius)
+            self.store.upload(tile_id, blurred)
+            cb(
+                None,
+                {
+                    "tile_id": tile_id,
+                    "mean": float(blurred.mean()),
+                    "variance": float(blurred.var()),
+                },
+            )
+        except Exception as exc:
+            cb(exc, None)
+
+    def cost(self, value: Any) -> float:
+        return 1.0
+
+    def simulate_result(self, value: Any) -> Any:
+        spec = self._unwrap(value)
+        return {
+            "tile_id": spec.get("tile_id"),
+            "mean": None,
+            "variance": None,
+            "size_bytes": self.result_size_bytes,
+            "simulated": True,
+        }
+
+    def verify_result(self, value: Any, result: Any) -> bool:
+        return isinstance(result, dict) and "tile_id" in result
+
+    @staticmethod
+    def _unwrap(value: Any) -> dict:
+        if isinstance(value, dict) and "value" in value and "application" in value:
+            return value["value"]
+        return value
+
+
+registry.register("imageproc", ImageProcessingApplication)

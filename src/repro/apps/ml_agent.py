@@ -1,0 +1,205 @@
+"""Machine-learning agent hyper-parameter search (paper section 4.1).
+
+The paper's application searches for the learning rate that lets a simulated
+agent learn a rewarding sequence of steps the fastest; the training is
+interactive and a hyper-parameter case can be aborted early if the agent
+fails to learn.  The reproduction trains a tabular Q-learning agent on a
+small grid world: each streamed value is one hyper-parameter configuration
+plus a number of training steps; the result reports the cumulative reward
+and whether the goal-reaching policy was learned.
+
+One streamed value accounts for ``ops_per_value`` environment steps, matching
+Table 2's Steps/s unit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from .base import Application, NodeCallback, registry
+
+__all__ = ["GridWorld", "QLearningAgent", "MLAgentApplication"]
+
+
+class GridWorld:
+    """A small deterministic grid world with one goal cell."""
+
+    def __init__(self, width: int = 5, height: int = 5) -> None:
+        self.width = width
+        self.height = height
+        self.start = (0, 0)
+        self.goal = (width - 1, height - 1)
+        self.actions = ["up", "down", "left", "right"]
+
+    def step(self, state: Tuple[int, int], action: str) -> Tuple[Tuple[int, int], float, bool]:
+        """Apply *action*; return (next_state, reward, done)."""
+        x, y = state
+        if action == "up":
+            y = min(self.height - 1, y + 1)
+        elif action == "down":
+            y = max(0, y - 1)
+        elif action == "left":
+            x = max(0, x - 1)
+        elif action == "right":
+            x = min(self.width - 1, x + 1)
+        else:
+            raise ValueError(f"unknown action {action!r}")
+        next_state = (x, y)
+        if next_state == self.goal:
+            return next_state, 10.0, True
+        return next_state, -0.1, False
+
+
+class QLearningAgent:
+    """Tabular Q-learning with epsilon-greedy exploration."""
+
+    def __init__(
+        self,
+        world: GridWorld,
+        learning_rate: float,
+        discount: float = 0.95,
+        epsilon: float = 0.2,
+        seed: int = 0,
+    ) -> None:
+        self.world = world
+        self.learning_rate = learning_rate
+        self.discount = discount
+        self.epsilon = epsilon
+        self.rng = random.Random(seed)
+        self.q: Dict[Tuple[Tuple[int, int], str], float] = {}
+
+    def value(self, state: Tuple[int, int], action: str) -> float:
+        return self.q.get((state, action), 0.0)
+
+    def best_action(self, state: Tuple[int, int]) -> str:
+        return max(self.world.actions, key=lambda action: self.value(state, action))
+
+    def act(self, state: Tuple[int, int]) -> str:
+        if self.rng.random() < self.epsilon:
+            return self.rng.choice(self.world.actions)
+        return self.best_action(state)
+
+    def train(self, max_steps: int) -> Dict[str, Any]:
+        """Train for at most *max_steps* environment steps."""
+        state = self.world.start
+        total_reward = 0.0
+        episodes = 0
+        steps = 0
+        while steps < max_steps:
+            action = self.act(state)
+            next_state, reward, done = self.world.step(state, action)
+            best_next = max(
+                self.value(next_state, a) for a in self.world.actions
+            )
+            key = (state, action)
+            self.q[key] = self.value(state, action) + self.learning_rate * (
+                reward + self.discount * best_next - self.value(state, action)
+            )
+            total_reward += reward
+            steps += 1
+            if done:
+                episodes += 1
+                state = self.world.start
+            else:
+                state = next_state
+        return {
+            "steps": steps,
+            "episodes": episodes,
+            "total_reward": total_reward,
+            "learned": episodes > 0 and self.greedy_reaches_goal(),
+        }
+
+    def greedy_reaches_goal(self, max_steps: int = 200) -> bool:
+        """Whether the greedy policy reaches the goal from the start."""
+        state = self.world.start
+        for _ in range(max_steps):
+            state, _reward, done = self.world.step(state, self.best_action(state))
+            if done:
+                return True
+        return False
+
+
+class MLAgentApplication(Application):
+    """Hyper-parameter (learning-rate) search over Q-learning runs."""
+
+    name = "ml_agent"
+    unit = "Steps/s"
+    ops_per_value = 200.0
+    input_size_bytes = 96
+    result_size_bytes = 128
+    dataflow = "pipeline"
+
+    def __init__(
+        self,
+        learning_rates: Optional[List[float]] = None,
+        steps_per_value: Optional[int] = None,
+        seed: int = 7,
+    ) -> None:
+        self.learning_rates = learning_rates or [
+            0.01, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9,
+        ]
+        self.seed = seed
+        if steps_per_value is not None:
+            self.ops_per_value = float(steps_per_value)
+
+    def generate_inputs(self, count: Optional[int] = None) -> Iterator[Any]:
+        index = 0
+        while count is None or index < count:
+            rate = self.learning_rates[index % len(self.learning_rates)]
+            yield {
+                "learning_rate": rate,
+                "steps": int(self.ops_per_value),
+                "seed": self.seed + index,
+            }
+            index += 1
+
+    def process(self, value: Any, cb: NodeCallback) -> None:
+        try:
+            spec = self._unwrap(value)
+            agent = QLearningAgent(
+                GridWorld(),
+                learning_rate=float(spec["learning_rate"]),
+                seed=int(spec.get("seed", self.seed)),
+            )
+            outcome = agent.train(int(spec["steps"]))
+            outcome["learning_rate"] = spec["learning_rate"]
+            cb(None, outcome)
+        except Exception as exc:
+            cb(exc, None)
+
+    def cost(self, value: Any) -> float:
+        spec = self._unwrap(value)
+        return float(spec.get("steps", self.ops_per_value))
+
+    def simulate_result(self, value: Any) -> Any:
+        spec = self._unwrap(value)
+        return {
+            "steps": spec.get("steps", int(self.ops_per_value)),
+            "episodes": 0,
+            "total_reward": 0.0,
+            "learned": False,
+            "learning_rate": spec.get("learning_rate"),
+            "size_bytes": self.result_size_bytes,
+            "simulated": True,
+        }
+
+    def verify_result(self, value: Any, result: Any) -> bool:
+        return isinstance(result, dict) and "total_reward" in result
+
+    def postprocess(self, results) -> Any:
+        """Pick the learning rate with the best cumulative reward."""
+        best = None
+        for result in results:
+            if best is None or result["total_reward"] > best["total_reward"]:
+                best = result
+        return best
+
+    @staticmethod
+    def _unwrap(value: Any) -> dict:
+        if isinstance(value, dict) and "value" in value and "application" in value:
+            return value["value"]
+        return value
+
+
+registry.register("ml_agent", MLAgentApplication)

@@ -1,0 +1,225 @@
+"""Raytracing animation rendering (paper sections 2.1 and 4.1).
+
+The paper's motivating example renders the frames of a rotation animation
+around a 3D scene with a raytracer taken from the Web, distributes one camera
+angle per streamed value, and assembles the rendered frames into an animated
+GIF in input order.  This module provides:
+
+* a small but genuine Whitted-style raytracer (spheres + plane, one point
+  light, shadows, Lambert/specular shading) implemented with numpy;
+* :class:`RaytraceApplication`, whose inputs are camera angles and whose
+  results are gzip+base64-encoded pixel buffers exactly as in the paper's
+  Figure 2;
+* an animation assembler standing in for ``gif-encoder.js`` which checks
+  frame ordering and packs the frames into a single artefact.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterator, List, Optional
+
+import numpy as np
+
+from ..net.serialization import decode_binary, encode_binary
+from .base import Application, NodeCallback, registry
+
+__all__ = ["Scene", "render_scene", "RaytraceApplication", "assemble_animation"]
+
+
+class Scene:
+    """The 3D scene of the rotation animation: three spheres above a plane."""
+
+    def __init__(self) -> None:
+        self.spheres = [
+            # (center, radius, colour, specular)
+            (np.array([0.0, 0.0, 0.0]), 1.0, np.array([0.9, 0.2, 0.2]), 0.6),
+            (np.array([2.0, 0.0, -1.0]), 0.7, np.array([0.2, 0.9, 0.2]), 0.4),
+            (np.array([-2.0, 0.0, -1.0]), 0.7, np.array([0.2, 0.2, 0.9]), 0.4),
+        ]
+        self.plane_y = -1.0
+        self.plane_colour = np.array([0.8, 0.8, 0.8])
+        self.light = np.array([5.0, 5.0, 5.0])
+        self.ambient = 0.15
+        self.background = np.array([0.05, 0.05, 0.1])
+
+
+def _intersect_sphere(origin, direction, center, radius) -> Optional[float]:
+    oc = origin - center
+    b = 2.0 * np.dot(oc, direction)
+    c = np.dot(oc, oc) - radius * radius
+    disc = b * b - 4.0 * c
+    if disc < 0:
+        return None
+    sqrt_disc = math.sqrt(disc)
+    for t in ((-b - sqrt_disc) / 2.0, (-b + sqrt_disc) / 2.0):
+        if t > 1e-4:
+            return t
+    return None
+
+
+def _trace(scene: Scene, origin: np.ndarray, direction: np.ndarray) -> np.ndarray:
+    nearest_t, hit = None, None
+    for center, radius, colour, specular in scene.spheres:
+        t = _intersect_sphere(origin, direction, center, radius)
+        if t is not None and (nearest_t is None or t < nearest_t):
+            nearest_t = t
+            point = origin + t * direction
+            normal = (point - center) / radius
+            hit = (point, normal, colour, specular)
+    # Ground plane y = plane_y
+    if abs(direction[1]) > 1e-6:
+        t = (scene.plane_y - origin[1]) / direction[1]
+        if t > 1e-4 and (nearest_t is None or t < nearest_t):
+            point = origin + t * direction
+            checker = (int(math.floor(point[0])) + int(math.floor(point[2]))) % 2
+            colour = scene.plane_colour * (0.6 if checker else 1.0)
+            hit = (point, np.array([0.0, 1.0, 0.0]), colour, 0.1)
+    if hit is None:
+        return scene.background
+    point, normal, colour, specular = hit
+    to_light = scene.light - point
+    light_distance = np.linalg.norm(to_light)
+    to_light = to_light / light_distance
+    # Shadow test
+    in_shadow = False
+    for center, radius, _colour, _spec in scene.spheres:
+        t = _intersect_sphere(point, to_light, center, radius)
+        if t is not None and t < light_distance:
+            in_shadow = True
+            break
+    intensity = scene.ambient
+    if not in_shadow:
+        intensity += max(0.0, float(np.dot(normal, to_light)))
+        half = to_light - direction
+        half = half / (np.linalg.norm(half) + 1e-9)
+        intensity += specular * max(0.0, float(np.dot(normal, half))) ** 20
+    return np.clip(colour * intensity, 0.0, 1.0)
+
+
+def render_scene(angle_degrees: float, width: int = 32, height: int = 24) -> np.ndarray:
+    """Render the scene from a camera rotated by *angle_degrees* around it.
+
+    Returns an ``(height, width, 3)`` uint8 pixel array.  The default
+    resolution is deliberately small (the paper also reduced the image size to
+    fit WebRTC message limits); callers can raise it for nicer output.
+    """
+    scene = Scene()
+    angle = math.radians(angle_degrees)
+    camera = np.array([5.0 * math.sin(angle), 1.5, 5.0 * math.cos(angle)])
+    target = np.array([0.0, 0.0, 0.0])
+    forward = target - camera
+    forward = forward / np.linalg.norm(forward)
+    right = np.cross(forward, np.array([0.0, 1.0, 0.0]))
+    right = right / np.linalg.norm(right)
+    up = np.cross(right, forward)
+
+    image = np.zeros((height, width, 3), dtype=np.float64)
+    aspect = width / height
+    for py in range(height):
+        for px in range(width):
+            u = (2.0 * (px + 0.5) / width - 1.0) * aspect
+            v = 1.0 - 2.0 * (py + 0.5) / height
+            direction = forward + u * right + v * up
+            direction = direction / np.linalg.norm(direction)
+            image[py, px] = _trace(scene, camera, direction)
+    return (image * 255).astype(np.uint8)
+
+
+def assemble_animation(frames: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Stand-in for ``gif-encoder.js``: pack ordered frames into one artefact.
+
+    Verifies that the frames arrive in increasing angle order (Pando
+    guarantees output ordering) and returns a dict with the decoded frame
+    count and total byte size.
+    """
+    angles = [frame["angle"] for frame in frames]
+    if angles != sorted(angles):
+        raise ValueError("frames are out of order; the animation would be scrambled")
+    total_bytes = 0
+    decoded = []
+    for frame in frames:
+        pixels = decode_binary(frame["pixels"])
+        total_bytes += len(pixels)
+        decoded.append(pixels)
+    return {"frames": len(frames), "bytes": total_bytes, "angles": angles}
+
+
+class RaytraceApplication(Application):
+    """Render one animation frame per streamed camera angle."""
+
+    name = "raytrace"
+    unit = "Frames/s"
+    ops_per_value = 1.0
+    input_size_bytes = 32
+    #: compressed pixel buffer of the reduced-size frame
+    result_size_bytes = 40_000
+    dataflow = "pipeline"
+
+    def __init__(
+        self,
+        frames: int = 24,
+        width: int = 32,
+        height: int = 24,
+    ) -> None:
+        self.frames = frames
+        self.width = width
+        self.height = height
+
+    def generate_inputs(self, count: Optional[int] = None) -> Iterator[Any]:
+        total = count if count is not None else None
+        index = 0
+        while total is None or index < total:
+            angle = (360.0 / self.frames) * (index % self.frames)
+            yield {"angle": angle, "frame": index}
+            index += 1
+
+    def process(self, value: Any, cb: NodeCallback) -> None:
+        """Figure 2: render, then gzip+base64 the pixel buffer."""
+        try:
+            spec = self._unwrap(value)
+            angle = float(spec["angle"])
+            pixels = render_scene(angle, self.width, self.height)
+            encoded = encode_binary(pixels.tobytes())
+            cb(
+                None,
+                {
+                    "angle": angle,
+                    "frame": spec.get("frame"),
+                    "pixels": encoded,
+                    "shape": list(pixels.shape),
+                },
+            )
+        except Exception as exc:
+            cb(exc, None)
+
+    def cost(self, value: Any) -> float:
+        return 1.0
+
+    def simulate_result(self, value: Any) -> Any:
+        spec = self._unwrap(value)
+        return {
+            "angle": spec.get("angle"),
+            "frame": spec.get("frame"),
+            "pixels": None,
+            "size_bytes": self.result_size_bytes,
+            "simulated": True,
+        }
+
+    def verify_result(self, value: Any, result: Any) -> bool:
+        return isinstance(result, dict) and "angle" in result
+
+    def postprocess(self, results) -> Any:
+        frames = [result for result in results if result.get("pixels") is not None]
+        if not frames:
+            return {"frames": 0, "bytes": 0, "angles": []}
+        return assemble_animation(frames)
+
+    @staticmethod
+    def _unwrap(value: Any) -> dict:
+        if isinstance(value, dict) and "value" in value and "application" in value:
+            return value["value"]
+        return value
+
+
+registry.register("raytrace", RaytraceApplication)

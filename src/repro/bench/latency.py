@@ -1,0 +1,85 @@
+"""Latency-hiding analysis (paper section 5.5).
+
+"The throughput impact of network latency can be minimized for
+computation-bound applications, if large enough batches of inputs are used."
+The paper used a batch size of 2 for the LAN/VPN deployments and 4 for the
+WAN one.  :func:`batch_size_sweep` measures the aggregate throughput for a
+range of Limiter windows on each setting, showing the efficiency climbing
+towards the no-latency ceiling as the window grows, and where the crossover
+(≥95 % of the ceiling) happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..apps import registry as app_registry
+from ..devices.profiles import devices_for_setting
+from ..sim.scenario import DeploymentScenario, ScenarioConfig
+
+__all__ = ["LatencyPoint", "batch_size_sweep", "ideal_throughput"]
+
+
+@dataclass
+class LatencyPoint:
+    """Aggregate throughput at one batch size."""
+
+    setting: str
+    application: str
+    batch_size: int
+    throughput: float          # in paper units (ops/s)
+    ceiling: float             # sum of device rates (no-latency ideal)
+    efficiency: float          # throughput / ceiling
+
+
+def ideal_throughput(application: str, setting: str) -> float:
+    """No-latency ceiling: the sum of the calibrated device rates."""
+    return sum(
+        device.rates[application]
+        for device in devices_for_setting(setting)
+        if device.supports(application)
+    )
+
+
+def batch_size_sweep(
+    application: str = "raytrace",
+    setting: str = "wan",
+    batch_sizes: Optional[List[int]] = None,
+    duration: float = 40.0,
+    warmup: float = 10.0,
+    seed: int = 42,
+) -> List[LatencyPoint]:
+    """Measure aggregate throughput for each Limiter window size."""
+    sizes = batch_sizes or [1, 2, 4, 8]
+    ceiling = ideal_throughput(application, setting)
+    points: List[LatencyPoint] = []
+    for size in sizes:
+        app = app_registry.create(application)
+        devices = [
+            device
+            for device in devices_for_setting(setting)
+            if device.supports(application)
+        ]
+        config = ScenarioConfig(
+            application=app,
+            setting=setting,
+            devices=devices,
+            duration=duration,
+            warmup=warmup,
+            batch_size=size,
+            seed=seed,
+        )
+        result = DeploymentScenario(config).run_measurement()
+        throughput = result.report.total_throughput * app.ops_per_value
+        points.append(
+            LatencyPoint(
+                setting=setting,
+                application=application,
+                batch_size=size,
+                throughput=throughput,
+                ceiling=ceiling,
+                efficiency=throughput / ceiling if ceiling > 0 else 0.0,
+            )
+        )
+    return points

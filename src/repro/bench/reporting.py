@@ -1,0 +1,127 @@
+"""Textual reports formatted like the paper's tables.
+
+The benchmark scripts print their results through these helpers so that the
+console output can be compared line-by-line with the paper's Table 2 and with
+the statements of the analysis section (5.5).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from .comparison import ComparisonRow
+from .latency import LatencyPoint
+from .table2 import Table2Block, Table2Cell
+
+__all__ = [
+    "format_table",
+    "format_table2_cell",
+    "format_table2_block",
+    "format_latency_sweep",
+    "format_comparison",
+]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: Optional[str] = None
+) -> str:
+    """Render a plain-text table with aligned columns."""
+    string_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in string_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in string_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_table2_cell(cell: Table2Cell) -> str:
+    """Format one Table-2 cell group (one application, one setting)."""
+    rows = []
+    rows.append(
+        (
+            f"{cell.setting.upper()} total",
+            f"{cell.measured_total:,.2f}",
+            "100.0",
+            f"{cell.paper_total_value:,.2f}" if cell.paper_total_value else "—",
+        )
+    )
+    for name in sorted(cell.measured_per_device):
+        paper_value = cell.paper_per_device.get(name)
+        rows.append(
+            (
+                f"  {name}",
+                f"{cell.measured_per_device[name]:,.2f}",
+                f"{cell.measured_share[name]:.1f}",
+                f"{paper_value:,.2f}" if paper_value is not None else "—",
+            )
+        )
+    title = (
+        f"Table 2 — {cell.application} ({cell.unit}), {cell.setting.upper()}, "
+        f"batch={cell.batch_size}, window={cell.window:.0f}s"
+    )
+    return format_table(
+        ("device", f"measured {cell.unit}", "share %", f"paper {cell.unit}"),
+        rows,
+        title=title,
+    )
+
+
+def format_table2_block(block: Table2Block) -> str:
+    """Format every application cell of one setting."""
+    return "\n\n".join(format_table2_cell(cell) for cell in block.cells)
+
+
+def format_latency_sweep(points: List[LatencyPoint]) -> str:
+    """Format the batch-size sweep of the latency-hiding analysis."""
+    rows = [
+        (
+            point.batch_size,
+            f"{point.throughput:,.2f}",
+            f"{point.ceiling:,.2f}",
+            f"{100.0 * point.efficiency:.1f}",
+        )
+        for point in points
+    ]
+    title = (
+        f"Latency hiding — {points[0].application} on {points[0].setting.upper()}"
+        if points
+        else "Latency hiding"
+    )
+    return format_table(
+        ("batch", "throughput", "ceiling", "efficiency %"), rows, title=title
+    )
+
+
+def format_comparison(rows: List[ComparisonRow]) -> str:
+    """Format the personal-device vs server-core comparison."""
+    formatted = [
+        (
+            row.personal_device,
+            f"{row.personal_single_core:,.2f}",
+            row.server,
+            f"{row.server_single_core:,.2f}",
+            f"{row.cores_to_match:.1f}",
+            "yes" if row.personal_wins_single_core else "no",
+        )
+        for row in rows
+    ]
+    title = f"Personal devices vs server cores — {rows[0].application}" if rows else ""
+    return format_table(
+        (
+            "personal device",
+            "1-core rate",
+            "server",
+            "1-core rate",
+            "cores to match",
+            "personal wins",
+        ),
+        formatted,
+        title=title,
+    )

@@ -1,0 +1,187 @@
+"""Harness regenerating the paper's Table 2.
+
+Table 2 reports, for six compute-bound applications and three deployment
+settings (LAN personal devices, VPN Grid5000, WAN PlanetLab EU), the average
+throughput of every participating device over a five-minute window plus its
+percentage share of the aggregate.
+
+:func:`run_cell` measures one (application, setting) cell group;
+:func:`run_block` measures a full setting block; :func:`run_table2` produces
+the whole table.  Results are returned as :class:`Table2Cell` records which
+the reporting helpers format like the paper's rows, together with the
+paper-reported values for comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..apps import registry as app_registry
+from ..apps.base import Application
+from ..devices.profiles import APPLICATIONS, APPLICATION_UNITS, devices_for_setting
+from ..sim.scenario import DeploymentScenario, ScenarioConfig, default_batch_size
+
+__all__ = [
+    "Table2Cell",
+    "Table2Block",
+    "paper_total",
+    "paper_device_rate",
+    "run_cell",
+    "run_block",
+    "run_table2",
+    "SETTINGS",
+]
+
+SETTINGS = ["lan", "vpn", "wan"]
+
+#: applications measured in each setting (imageproc is unavailable on the WAN,
+#: paper section 5.1) — arxiv is excluded everywhere (human processing)
+MEASURED_APPS = {
+    "lan": ["collatz", "crypto", "lender_test", "raytrace", "imageproc", "ml_agent"],
+    "vpn": ["collatz", "crypto", "lender_test", "raytrace", "imageproc", "ml_agent"],
+    "wan": ["collatz", "crypto", "lender_test", "raytrace", "ml_agent"],
+}
+
+
+@dataclass
+class Table2Cell:
+    """One (application, setting) group of Table 2."""
+
+    application: str
+    setting: str
+    unit: str
+    #: measured aggregate throughput, in the paper's unit (ops/s)
+    measured_total: float
+    #: per-device throughput (device profile name -> ops/s, all its tabs)
+    measured_per_device: Dict[str, float]
+    #: per-device share of the aggregate (percent)
+    measured_share: Dict[str, float]
+    #: the value the paper reports for the aggregate
+    paper_total_value: Optional[float]
+    #: the values the paper reports per device
+    paper_per_device: Dict[str, Optional[float]]
+    window: float
+    batch_size: int
+
+    @property
+    def ratio_to_paper(self) -> Optional[float]:
+        if not self.paper_total_value:
+            return None
+        return self.measured_total / self.paper_total_value
+
+
+@dataclass
+class Table2Block:
+    """All application cells of one deployment setting."""
+
+    setting: str
+    cells: List[Table2Cell] = field(default_factory=list)
+
+
+def paper_total(application: str, setting: str) -> Optional[float]:
+    """Aggregate throughput the paper reports for one cell group."""
+    values = [
+        device.rates.get(application)
+        for device in devices_for_setting(setting)
+    ]
+    present = [value for value in values if value is not None]
+    if not present or len(present) != len(values):
+        return sum(present) if present else None
+    return sum(present)
+
+
+def paper_device_rate(application: str, setting: str) -> Dict[str, Optional[float]]:
+    """Per-device throughput the paper reports for one cell group."""
+    return {
+        device.name: device.rates.get(application)
+        for device in devices_for_setting(setting)
+    }
+
+
+def _make_app(application: str) -> Application:
+    return app_registry.create(application)
+
+
+def run_cell(
+    application: str,
+    setting: str,
+    duration: float = 60.0,
+    warmup: float = 10.0,
+    batch_size: Optional[int] = None,
+    seed: int = 42,
+) -> Table2Cell:
+    """Measure one (application, setting) cell group of Table 2."""
+    app = _make_app(application)
+    devices = [
+        device
+        for device in devices_for_setting(setting)
+        if device.supports(application)
+    ]
+    config = ScenarioConfig(
+        application=app,
+        setting=setting,
+        devices=devices,
+        duration=duration,
+        warmup=warmup,
+        batch_size=batch_size,
+        seed=seed,
+    )
+    scenario = DeploymentScenario(config)
+    result = scenario.run_measurement()
+    report = result.report
+
+    # Aggregate per-tab throughput back to per-device (Table 2 lists devices).
+    per_device: Dict[str, float] = {}
+    for worker_id, throughput in report.per_worker_throughput.items():
+        device_name = worker_id.split("#", 1)[0]
+        per_device[device_name] = per_device.get(device_name, 0.0) + throughput
+    scale = app.ops_per_value
+    measured_per_device = {name: value * scale for name, value in per_device.items()}
+    measured_total = sum(measured_per_device.values())
+    measured_share = {
+        name: (100.0 * value / measured_total if measured_total > 0 else 0.0)
+        for name, value in measured_per_device.items()
+    }
+    return Table2Cell(
+        application=application,
+        setting=setting,
+        unit=APPLICATION_UNITS.get(application, app.unit),
+        measured_total=measured_total,
+        measured_per_device=measured_per_device,
+        measured_share=measured_share,
+        paper_total_value=paper_total(application, setting),
+        paper_per_device=paper_device_rate(application, setting),
+        window=report.window,
+        batch_size=config.resolved_batch_size(),
+    )
+
+
+def run_block(
+    setting: str,
+    duration: float = 60.0,
+    warmup: float = 10.0,
+    applications: Optional[List[str]] = None,
+    seed: int = 42,
+) -> Table2Block:
+    """Measure every application cell of one deployment setting."""
+    apps = applications if applications is not None else MEASURED_APPS[setting]
+    block = Table2Block(setting=setting)
+    for application in apps:
+        block.cells.append(
+            run_cell(application, setting, duration=duration, warmup=warmup, seed=seed)
+        )
+    return block
+
+
+def run_table2(
+    duration: float = 60.0,
+    warmup: float = 10.0,
+    settings: Optional[List[str]] = None,
+    seed: int = 42,
+) -> List[Table2Block]:
+    """Measure the whole of Table 2 (all settings, all applications)."""
+    blocks = []
+    for setting in settings or SETTINGS:
+        blocks.append(run_block(setting, duration=duration, warmup=warmup, seed=seed))
+    return blocks

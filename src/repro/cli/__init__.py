@@ -1,0 +1,12 @@
+"""Command-line interface: the ``pando`` tool and its pipeline companions."""
+
+from .pando_cli import build_parser, main, run_pipeline
+from .tools import generate_angles_main, gif_encoder_main
+
+__all__ = [
+    "build_parser",
+    "main",
+    "run_pipeline",
+    "generate_angles_main",
+    "gif_encoder_main",
+]

@@ -1,0 +1,192 @@
+"""The ``pando`` command-line tool (Unix-pipeline interface).
+
+Mirrors the paper's Figure 3::
+
+    $ ./generate-angles.js | pando render.js --stdin | ./gif-encoder.js
+    Serving volunteer code at http://10.10.14.119:5000
+
+The Python port reads input values from the standard input (one JSON value or
+raw string per line) or from command-line arguments, applies the processing
+function exposed by a Pando module file (``exports['/pando/1.0.0']`` or a
+``pando`` function) or by one of the built-in applications, and writes one
+JSON result per line to the standard output.  Status messages (the volunteer
+URL, worker joins) go to standard error, exactly as in the paper, so they do
+not pollute the pipeline.
+
+Workers are in-process (``--workers N`` of them); a real browser fleet is
+replaced by the simulation API (see ``repro.sim.scenario``) which the
+``--simulate`` flag exposes for convenience.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Iterable, Iterator, List, Optional
+
+from ..apps import registry as app_registry
+from ..core.distributed_map import DistributedMap
+from ..master.bundler import Bundle, bundle_function, bundle_module
+from ..pullstream import collect, from_iterable, pull
+from ..sim.scenario import DeploymentScenario, ScenarioConfig
+
+__all__ = ["main", "build_parser", "run_pipeline"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pando",
+        description=(
+            "Parallelize the application of a function on a stream of values "
+            "(Python reproduction of the Pando volunteer-computing tool)."
+        ),
+    )
+    parser.add_argument(
+        "module",
+        nargs="?",
+        help="Pando module file exposing the processing function "
+        "(exports['/pando/1.0.0'] or a 'pando' function)",
+    )
+    parser.add_argument(
+        "items", nargs="*", help="input values (when --stdin is not used)"
+    )
+    parser.add_argument(
+        "--app",
+        choices=sorted(app_registry.names()),
+        help="use a built-in application instead of a module file",
+    )
+    parser.add_argument(
+        "--stdin", action="store_true", help="read input values from standard input"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="number of in-process workers"
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=2,
+        dest="batch_size",
+        help="values kept in flight per worker (Limiter window)",
+    )
+    parser.add_argument(
+        "--unordered",
+        action="store_true",
+        help="release results in completion order instead of input order",
+    )
+    parser.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        help="with --app and no stdin: number of generated inputs to process",
+    )
+    parser.add_argument(
+        "--simulate",
+        choices=["lan", "vpn", "wan"],
+        default=None,
+        help="run on the simulated deployment of the given setting instead of "
+        "in-process workers",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="parse each stdin line as JSON"
+    )
+    parser.add_argument(
+        "--port", type=int, default=5000, help="port announced in the startup message"
+    )
+    return parser
+
+
+def _read_stdin(as_json: bool) -> Iterator[Any]:
+    for line in sys.stdin:
+        line = line.rstrip("\n")
+        if not line:
+            continue
+        yield json.loads(line) if as_json else line
+
+
+def _emit(value: Any, stream) -> None:
+    try:
+        stream.write(json.dumps(value, default=repr) + "\n")
+    except TypeError:
+        stream.write(json.dumps(repr(value)) + "\n")
+    stream.flush()
+
+
+def run_pipeline(
+    bundle: Bundle,
+    inputs: Iterable[Any],
+    workers: int,
+    batch_size: int,
+    ordered: bool = True,
+) -> List[Any]:
+    """Run the distributed map with in-process workers and return the results."""
+    dmap = DistributedMap(ordered=ordered, batch_size=batch_size)
+    sink = pull(from_iterable(inputs), dmap, collect())
+    for _ in range(max(1, workers)):
+        dmap.add_local_worker(bundle.apply)
+    return sink.result()
+
+
+def _run_simulated(app, setting: str, count: Optional[int], stderr) -> List[Any]:
+    config = ScenarioConfig(application=app, setting=setting, duration=30.0)
+    scenario = DeploymentScenario(config)
+    inputs = list(app.generate_inputs(count if count is not None else 32))
+    stderr.write(f"Simulating a {setting.upper()} deployment with "
+                 f"{len(scenario.volunteers)} volunteer device(s)\n")
+    result = scenario.run_to_completion(inputs)
+    for line in result.log:
+        stderr.write(line + "\n")
+    return result.outputs or []
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``pando`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    stderr = sys.stderr
+
+    app = None
+    if args.app is not None:
+        app = app_registry.create(args.app)
+        bundle = bundle_function(app.process, name=args.app, application=app)
+    elif args.module is not None:
+        bundle = bundle_module(args.module)
+    else:
+        parser.error("either a module file or --app is required")
+        return 2  # pragma: no cover - parser.error raises
+
+    stderr.write(f"Serving volunteer code at http://127.0.0.1:{args.port}\n")
+
+    if args.simulate is not None:
+        if app is None:
+            parser.error("--simulate requires --app (simulated devices need a cost model)")
+            return 2  # pragma: no cover
+        results = _run_simulated(app, args.simulate, args.count, stderr)
+        for result in results:
+            _emit(result, sys.stdout)
+        return 0
+
+    if args.stdin:
+        inputs: Iterable[Any] = _read_stdin(args.json)
+    elif args.items:
+        inputs = list(args.items)
+    elif app is not None:
+        inputs = app.generate_inputs(args.count if args.count is not None else 16)
+    else:
+        inputs = []
+
+    results = run_pipeline(
+        bundle,
+        inputs,
+        workers=args.workers,
+        batch_size=args.batch_size,
+        ordered=not args.unordered,
+    )
+    for result in results:
+        _emit(result, sys.stdout)
+    stderr.write(f"Processed {len(results)} value(s)\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

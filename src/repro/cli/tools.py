@@ -1,0 +1,77 @@
+"""Companion Unix tools of the paper's Figure 3 pipeline.
+
+``generate-angles.js`` and ``gif-encoder.js`` become the console scripts
+``pando-generate-angles`` (emit camera angles, one per line) and
+``pando-gif-encoder`` (read rendered frames as JSON lines, verify ordering,
+assemble the animation and print a summary).  They demonstrate that the input
+generation and post-processing need not live inside Pando (design principle
+DP5: composable and modular).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from ..apps.raytracer import assemble_animation
+
+__all__ = ["generate_angles_main", "gif_encoder_main"]
+
+
+def generate_angles_main(argv: Optional[List[str]] = None) -> int:
+    """Print camera angles for a full rotation, one per line."""
+    parser = argparse.ArgumentParser(
+        prog="pando-generate-angles",
+        description="Generate camera angles for the raytracing animation.",
+    )
+    parser.add_argument("--frames", type=int, default=24, help="number of frames")
+    parser.add_argument(
+        "--degrees", type=float, default=360.0, help="total rotation in degrees"
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit JSON objects ({'angle': ..., 'frame': ...}) instead of bare numbers",
+    )
+    args = parser.parse_args(argv)
+    for index in range(args.frames):
+        angle = args.degrees * index / args.frames
+        if args.json:
+            sys.stdout.write(json.dumps({"angle": angle, "frame": index}) + "\n")
+        else:
+            sys.stdout.write(f"{angle}\n")
+    return 0
+
+
+def gif_encoder_main(argv: Optional[List[str]] = None) -> int:
+    """Read rendered frames (JSON lines) from stdin and assemble the animation."""
+    parser = argparse.ArgumentParser(
+        prog="pando-gif-encoder",
+        description="Assemble rendered frames into an animation summary.",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="optional path to write the assembled animation summary (JSON)",
+    )
+    args = parser.parse_args(argv)
+
+    frames = []
+    for line in sys.stdin:
+        line = line.strip()
+        if not line:
+            continue
+        frame = json.loads(line)
+        if frame.get("pixels") is None:
+            continue
+        frames.append(frame)
+    summary = assemble_animation(frames) if frames else {"frames": 0, "bytes": 0, "angles": []}
+    encoded = json.dumps(summary)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(encoded + "\n")
+    sys.stdout.write(encoded + "\n")
+    sys.stderr.write(f"Assembled {summary['frames']} frame(s)\n")
+    return 0

@@ -1,0 +1,164 @@
+"""DistributedMap — the composition at the heart of Pando's master process.
+
+Paper Figure 7: the master wires a ``StreamLender`` between its input and
+output streams; every volunteer that joins contributes a duplex channel which
+is connected to a fresh sub-stream through a ``Limiter``.  ``DistributedMap``
+packages this wiring into one reusable object, independent of where the
+channels come from (simulated WebSocket/WebRTC, thread-backed loopback
+channels, or plain in-process workers for testing).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import PandoError
+from ..pullstream import async_map, pull
+from ..pullstream.duplex import Duplex
+from ..pullstream.protocol import Source
+from .lender import StreamLender, SubStream, UnorderedStreamLender
+from .limiter import Limiter
+
+__all__ = ["DistributedMap", "WorkerHandle"]
+
+NodeCallback = Callable[[Optional[BaseException], Any], None]
+AsyncFunction = Callable[[Any, NodeCallback], None]
+
+
+class WorkerHandle:
+    """Book-keeping for one worker attached to a :class:`DistributedMap`."""
+
+    def __init__(
+        self,
+        worker_id: str,
+        substream: SubStream,
+        limiter: Optional[Limiter],
+    ) -> None:
+        self.worker_id = worker_id
+        self.substream = substream
+        self.limiter = limiter
+
+    @property
+    def closed(self) -> bool:
+        """True once the worker's sub-stream has been closed (crash or done)."""
+        return self.substream.closed
+
+    @property
+    def in_flight(self) -> int:
+        """Values currently sent to the worker and not yet answered."""
+        if self.limiter is not None:
+            return self.limiter.in_flight
+        return len(self.substream.borrowed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "closed" if self.closed else "open"
+        return f"<WorkerHandle {self.worker_id} {state} in_flight={self.in_flight}>"
+
+
+class DistributedMap:
+    """Apply a function to a stream of values using a dynamic set of workers.
+
+    The object is a pull-stream *through*: place it between a source of
+    inputs and a sink of results.  Workers are added at any time with
+    :meth:`add_channel` (a duplex connected to a remote worker that applies
+    the function) or :meth:`add_local_worker` (an in-process worker given the
+    function directly, mirroring the paper's observation that Pando "trivially
+    enables parallel processing on multicore architectures").
+    """
+
+    pull_role = "through"
+
+    def __init__(self, ordered: bool = True, batch_size: int = 1) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.ordered = ordered
+        self.batch_size = batch_size
+        self.lender: StreamLender = (
+            StreamLender() if ordered else UnorderedStreamLender()
+        )
+        self._workers: Dict[str, WorkerHandle] = {}
+        self._counter = 0
+
+    # ------------------------------------------------------------------ API
+    def __call__(self, read: Source) -> Source:
+        """Connect the input stream and return the output stream."""
+        return self.lender(read)
+
+    def add_channel(
+        self,
+        channel: Duplex,
+        worker_id: Optional[str] = None,
+        batch_size: Optional[int] = None,
+    ) -> WorkerHandle:
+        """Attach a worker reachable through the duplex *channel*.
+
+        The channel's sink receives input values; its source must produce one
+        result per input, in order.  A :class:`Limiter` bounds the number of
+        in-flight values to *batch_size* (defaults to the map's batch size),
+        which is how Pando hides network latency.
+        """
+        worker_id = worker_id or self._next_worker_id()
+        window = batch_size if batch_size is not None else self.batch_size
+        limiter = Limiter(channel, window)
+        handle_box: List[WorkerHandle] = []
+
+        def on_substream(err: Optional[BaseException], sub: Optional[SubStream]) -> None:
+            if err is not None or sub is None:
+                raise PandoError(f"cannot lend a sub-stream to {worker_id}: {err!r}")
+            pull(sub.source, limiter, sub.sink)
+            handle_box.append(WorkerHandle(worker_id, sub, limiter))
+
+        self.lender.lend_stream(on_substream)
+        handle = handle_box[0]
+        self._workers[worker_id] = handle
+        return handle
+
+    def add_local_worker(
+        self,
+        fn: AsyncFunction,
+        worker_id: Optional[str] = None,
+    ) -> WorkerHandle:
+        """Attach an in-process worker that applies *fn* directly.
+
+        *fn* follows the Pando processing-function convention
+        ``fn(value, cb)`` with ``cb(err, result)`` (paper Figure 2).
+        """
+        worker_id = worker_id or self._next_worker_id()
+        handle_box: List[WorkerHandle] = []
+
+        def on_substream(err: Optional[BaseException], sub: Optional[SubStream]) -> None:
+            if err is not None or sub is None:
+                raise PandoError(f"cannot lend a sub-stream to {worker_id}: {err!r}")
+            pull(sub.source, async_map(fn), sub.sink)
+            handle_box.append(WorkerHandle(worker_id, sub, None))
+
+        self.lender.lend_stream(on_substream)
+        handle = handle_box[0]
+        self._workers[worker_id] = handle
+        return handle
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def workers(self) -> Dict[str, WorkerHandle]:
+        """Mapping of worker id to handle for every worker ever attached."""
+        return dict(self._workers)
+
+    @property
+    def active_workers(self) -> List[WorkerHandle]:
+        """Handles of workers whose sub-stream is still open."""
+        return [handle for handle in self._workers.values() if not handle.closed]
+
+    @property
+    def stats(self):
+        """The underlying :class:`~repro.core.lender.LenderStats`."""
+        return self.lender.stats
+
+    def _next_worker_id(self) -> str:
+        self._counter += 1
+        return f"worker-{self._counter}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"<DistributedMap ordered={self.ordered} "
+            f"workers={len(self._workers)} active={len(self.active_workers)}>"
+        )

@@ -1,0 +1,143 @@
+"""Limiter — bound the number of in-flight values on a duplex channel.
+
+The paper (section 2.4.3) explains the role of this module: the pull-stream
+adapters around WebSocket/WebRTC eagerly read every available value on the
+sending side, so without a bound a fast master would push the entire input
+stream to the first worker.  ``Limiter`` lets through an initial window of
+``limit`` values and then admits one new value for each result that comes
+back.  With a window of 2 or more, transfers overlap with computation and the
+network latency is hidden (paper sections 5.2-5.5, "batch size").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional
+
+from ..errors import ProtocolError
+from ..pullstream.duplex import Duplex
+from ..pullstream.protocol import DONE, Callback, End, Source, is_error
+
+__all__ = ["Limiter", "limit"]
+
+
+class Limiter:
+    """Wrap a duplex *channel* so at most *limit* values are in flight.
+
+    The object can be used in two equivalent ways:
+
+    * as a pull-stream **through** (paper Figure 9)::
+
+          pull(sub.source, Limiter(channel, 2), sub.sink)
+
+    * as a duplex of its own, exposing ``source`` and ``sink`` attributes.
+
+    "In flight" counts values that were forwarded to the channel's sink and
+    whose corresponding result has not yet been read from the channel's
+    source.  The counter assumes the channel answers one result per input, in
+    order, which is what Pando's workers do.
+    """
+
+    pull_role = "through"
+
+    def __init__(self, channel: Duplex, limit: int = 1) -> None:
+        if limit < 1:
+            raise ValueError("Limiter window must be >= 1")
+        self.channel = channel
+        self.limit = limit
+        self._in_flight = 0
+        self._max_in_flight = 0
+        #: asks from the channel sink waiting for the window to open
+        self._gated_ask: Optional[tuple] = None
+        self._upstream: Optional[Source] = None
+        self._ended: End = None
+        self.source = self._make_source()
+        self.sink = self._make_sink()
+
+    # ------------------------------------------------------------------ API
+    def __call__(self, read: Source) -> Source:
+        """Through-style usage: feed *read* into the channel, return results."""
+        self.sink(read)
+        return self.source
+
+    @property
+    def in_flight(self) -> int:
+        """Number of values currently inside the channel window."""
+        return self._in_flight
+
+    @property
+    def max_in_flight(self) -> int:
+        """High-water mark of the window (used by tests and benches)."""
+        return self._max_in_flight
+
+    # ----------------------------------------------------------- sink side
+    def _make_sink(self) -> Callable[[Source], None]:
+        def sink(read: Source) -> None:
+            if self._upstream is not None:
+                raise ProtocolError("Limiter sink connected twice")
+            self._upstream = read
+            self.channel.sink(self._gated_read)
+
+        sink.pull_role = "sink"
+        return sink
+
+    def _gated_read(self, end: End, cb: Callback) -> None:
+        """The source handed to the channel's sink: upstream, but gated."""
+        if end is not None:
+            assert self._upstream is not None
+            self._upstream(end, cb)
+            return
+        if self._ended is not None:
+            cb(self._ended, None)
+            return
+        if self._in_flight >= self.limit:
+            if self._gated_ask is not None:
+                cb(ProtocolError("Limiter asked twice concurrently"), None)
+                return
+            self._gated_ask = (end, cb)
+            return
+        self._forward_upstream(cb)
+
+    def _forward_upstream(self, cb: Callback) -> None:
+        assert self._upstream is not None
+
+        def answer(answer_end: End, value: Any) -> None:
+            if answer_end is not None:
+                self._ended = answer_end if is_error(answer_end) else DONE
+                cb(self._ended, None)
+                return
+            self._in_flight += 1
+            self._max_in_flight = max(self._max_in_flight, self._in_flight)
+            cb(None, value)
+
+        self._upstream(None, answer)
+
+    # --------------------------------------------------------- source side
+    def _make_source(self) -> Source:
+        def read(end: End, cb: Callback) -> None:
+            if end is not None:
+                self.channel.source(end, cb)
+                return
+
+            def answer(answer_end: End, value: Any) -> None:
+                if answer_end is None:
+                    self._in_flight = max(0, self._in_flight - 1)
+                    self._release_gate()
+                cb(answer_end, value)
+
+            self.channel.source(None, answer)
+
+        read.pull_role = "source"
+        return read
+
+    def _release_gate(self) -> None:
+        if self._gated_ask is None or self._in_flight >= self.limit:
+            return
+        _end, cb = self._gated_ask
+        self._gated_ask = None
+        self._forward_upstream(cb)
+
+
+def limit(channel: Duplex, n: int = 1) -> Limiter:
+    """Functional constructor mirroring the JS ``pull-limit`` module."""
+    return Limiter(channel, n)

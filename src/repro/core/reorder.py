@@ -1,0 +1,86 @@
+"""Reordering buffer used by StreamLender to deliver results in input order.
+
+The paper (section 3) notes that "the ordering and synchronization of outputs
+is simply solved with a blocking queue that waits for the result at the next
+index in the stream to arrive".  In a callback-driven implementation the
+"blocking" is realised by parking the downstream ask until the next-in-order
+result is available.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+__all__ = ["ReorderBuffer"]
+
+
+class ReorderBuffer:
+    """Accumulate ``(index, value)`` pairs and release them in index order.
+
+    The buffer tracks the next index expected on the output.  ``put`` stores a
+    completed result; ``pop_ready`` returns the next in-order result if it is
+    available.  Indices must be non-negative, unique, and ultimately
+    contiguous from zero for the stream to fully drain.
+    """
+
+    def __init__(self) -> None:
+        self._pending: Dict[int, Any] = {}
+        self._next_index = 0
+        self._delivered = 0
+
+    def put(self, index: int, value: Any) -> None:
+        """Store the result for *index*.
+
+        Raises ``ValueError`` on duplicate or already-delivered indices, which
+        would indicate a conservativeness violation (the same input answered
+        twice).
+        """
+        if index < 0:
+            raise ValueError(f"negative stream index: {index}")
+        if index < self._next_index or index in self._pending:
+            raise ValueError(f"duplicate result for stream index {index}")
+        self._pending[index] = value
+
+    def has_ready(self) -> bool:
+        """True when the next in-order result is available."""
+        return self._next_index in self._pending
+
+    def pop_ready(self) -> Any:
+        """Remove and return the next in-order result.
+
+        Raises ``KeyError`` when it is not available yet; call
+        :meth:`has_ready` first.
+        """
+        value = self._pending.pop(self._next_index)
+        self._next_index += 1
+        self._delivered += 1
+        return value
+
+    def drain_ready(self) -> Iterator[Any]:
+        """Yield every result that is ready, in order."""
+        while self.has_ready():
+            yield self.pop_ready()
+
+    @property
+    def next_index(self) -> int:
+        """Index of the next result the output is waiting for."""
+        return self._next_index
+
+    @property
+    def delivered(self) -> int:
+        """Number of results already released in order."""
+        return self._delivered
+
+    @property
+    def buffered(self) -> int:
+        """Number of results waiting for earlier indices to complete."""
+        return len(self._pending)
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"<ReorderBuffer next={self._next_index} "
+            f"buffered={len(self._pending)} delivered={self._delivered}>"
+        )

@@ -1,0 +1,160 @@
+"""Stubborn processing — retry values whose external transfer failed.
+
+Paper section 4.3: when the result *data* travels through an external,
+failure-prone distribution protocol (DAT, WebTorrent), a worker may report
+success while the actual download of the result later fails (the worker's tab
+closed before the transfer completed).  The ``pull-stubborn`` module factors
+out the feedback loop that re-submits such inputs until a verified result is
+obtained.
+
+This port generalises the idea into a pull-stream through::
+
+    pull(inputs, stubborn(process, verify=download_completed), collect())
+
+``process(value, cb)`` computes a candidate result; ``verify(value, result,
+cb)`` confirms that the externally-distributed result is actually available.
+Whenever either step fails, the value is re-submitted, up to ``max_retries``
+attempts (unlimited by default, matching the "stubborn" name).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..errors import ExternalTransferError
+from ..pullstream.protocol import DONE, Callback, End, Source
+
+__all__ = ["stubborn", "StubbornStats"]
+
+NodeCallback = Callable[[Optional[BaseException], Any], None]
+ProcessFunction = Callable[[Any, NodeCallback], None]
+VerifyFunction = Callable[[Any, Any, NodeCallback], None]
+
+
+class StubbornStats:
+    """Counters describing how much re-submission the stubborn loop performed."""
+
+    def __init__(self) -> None:
+        self.attempts = 0
+        self.retries = 0
+        self.verification_failures = 0
+        self.processing_failures = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "verification_failures": self.verification_failures,
+            "processing_failures": self.processing_failures,
+        }
+
+
+def stubborn(
+    process: ProcessFunction,
+    verify: Optional[VerifyFunction] = None,
+    max_retries: Optional[int] = None,
+    stats: Optional[StubbornStats] = None,
+) -> Callable[[Source], Source]:
+    """Build a stubborn through module.
+
+    Parameters
+    ----------
+    process:
+        ``process(value, cb)`` — compute a candidate result, reporting it via
+        ``cb(err, result)``.  In Pando this is the round-trip through a
+        volunteer (which may crash mid-transfer).
+    verify:
+        ``verify(value, result, cb)`` — confirm the result's data is fully
+        available (e.g. the external download completed).  Omitted means the
+        result of ``process`` is trusted.
+    max_retries:
+        Give up with :class:`~repro.errors.ExternalTransferError` after this
+        many re-submissions of the same value.  ``None`` retries forever,
+        which is the paper's behaviour (liveness relies on eventual success).
+    stats:
+        Optional :class:`StubbornStats` to accumulate counters into.
+    """
+    counters = stats if stats is not None else StubbornStats()
+
+    def wrap(read: Source) -> Source:
+        state = {"ended": None}
+
+        def stubborn_read(end: End, cb: Callback) -> None:
+            if end is not None:
+                read(end, cb)
+                return
+            if state["ended"] is not None:
+                cb(state["ended"], None)
+                return
+
+            def upstream_answer(answer_end: End, value: Any) -> None:
+                if answer_end is not None:
+                    state["ended"] = answer_end
+                    cb(answer_end, None)
+                    return
+                _attempt(value, 0, cb)
+
+            def _attempt(value: Any, retry: int, downstream_cb: Callback) -> None:
+                counters.attempts += 1
+                if retry > 0:
+                    counters.retries += 1
+
+                def processed(err: Optional[BaseException], result: Any = None) -> None:
+                    if err is not None:
+                        counters.processing_failures += 1
+                        _retry_or_fail(value, retry, err, downstream_cb)
+                        return
+                    if verify is None:
+                        downstream_cb(None, result)
+                        return
+
+                    def verified(
+                        verr: Optional[BaseException], ok: Any = True
+                    ) -> None:
+                        if verr is not None or ok is False:
+                            counters.verification_failures += 1
+                            _retry_or_fail(
+                                value,
+                                retry,
+                                verr
+                                or ExternalTransferError(
+                                    f"verification failed for {value!r}"
+                                ),
+                                downstream_cb,
+                            )
+                            return
+                        downstream_cb(None, result)
+
+                    try:
+                        verify(value, result, verified)
+                    except Exception as exc:
+                        verified(exc, False)
+
+                try:
+                    process(value, processed)
+                except Exception as exc:
+                    processed(exc, None)
+
+            def _retry_or_fail(
+                value: Any,
+                retry: int,
+                cause: BaseException,
+                downstream_cb: Callback,
+            ) -> None:
+                if max_retries is not None and retry >= max_retries:
+                    error = ExternalTransferError(
+                        f"giving up on {value!r} after {retry + 1} attempts: {cause!r}"
+                    )
+                    state["ended"] = error
+                    read(error, lambda _e, _v: downstream_cb(error, None))
+                    return
+                _attempt(value, retry + 1, downstream_cb)
+
+            read(None, upstream_answer)
+
+        stubborn_read.pull_role = "source"
+        return stubborn_read
+
+    wrap.pull_role = "through"
+    wrap.stats = counters
+    return wrap

@@ -1,0 +1,30 @@
+"""Device models and the Table-2 device catalogue."""
+
+from .profiles import (
+    ALL_DEVICES,
+    APPLICATIONS,
+    APPLICATION_UNITS,
+    DeviceProfile,
+    LAN_DEVICES,
+    MASTER_DEVICE,
+    VPN_DEVICES,
+    WAN_DEVICES,
+    device_by_name,
+    devices_for_setting,
+)
+from .device import CoreSlot, SimDevice
+
+__all__ = [
+    "ALL_DEVICES",
+    "APPLICATIONS",
+    "APPLICATION_UNITS",
+    "DeviceProfile",
+    "LAN_DEVICES",
+    "MASTER_DEVICE",
+    "VPN_DEVICES",
+    "WAN_DEVICES",
+    "device_by_name",
+    "devices_for_setting",
+    "CoreSlot",
+    "SimDevice",
+]

@@ -1,0 +1,174 @@
+"""Simulated volunteer devices.
+
+A :class:`SimDevice` models the execution host of one or more browser tabs:
+it owns a number of cores, executes tasks whose duration is derived from the
+device's calibrated per-application rate (see
+:mod:`repro.devices.profiles`), and can crash (crash-stop) at a scheduled
+time, after which every queued and running task is silently dropped — exactly
+the failure mode Pando tolerates (paper section 2.3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from ..errors import WorkerCrashed
+from ..sim.scheduler import ScheduledEvent, Scheduler
+from .profiles import DeviceProfile
+
+__all__ = ["SimDevice", "CoreSlot"]
+
+CompletionCallback = Callable[[Optional[BaseException], Any], None]
+
+
+class CoreSlot:
+    """One execution core of a simulated device."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.busy = False
+        self.busy_until = 0.0
+        self.tasks_completed = 0
+        self.busy_time = 0.0
+
+
+class SimDevice:
+    """A device with ``cores`` execution slots driven by the scheduler.
+
+    Tasks are submitted with :meth:`execute`; if every core is busy the task
+    waits in a FIFO queue.  Durations are ``cost / per_core_rate(app)``
+    seconds of virtual time, matching the device's calibrated throughput.
+    """
+
+    #: rate (work units per second per core) used for applications the
+    #: profile has no calibrated rate for (e.g. ad-hoc test functions)
+    default_rate = 100.0
+
+    def __init__(
+        self,
+        profile: DeviceProfile,
+        scheduler: Scheduler,
+        cores: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.profile = profile
+        self.scheduler = scheduler
+        self.name = name or profile.name
+        self.cores = [CoreSlot(i) for i in range(cores or profile.cores)]
+        self.crashed = False
+        self.crashed_at: Optional[float] = None
+        self._queue: Deque[Tuple[str, float, CompletionCallback]] = deque()
+        self._pending_events: List[ScheduledEvent] = []
+        self._crash_listeners: List[Callable[["SimDevice"], None]] = []
+        self._task_ids = itertools.count()
+
+    # ------------------------------------------------------------ execution
+    def execute(
+        self, application: str, cost: float, callback: CompletionCallback
+    ) -> None:
+        """Run *cost* work units of *application*, then call *callback*.
+
+        ``callback(err, duration)`` receives the task duration in seconds, or
+        a :class:`~repro.errors.WorkerCrashed` error if the device crashed
+        before completion (in the crash-stop model the callback of a crashed
+        device is in fact never observed remotely — the channel simply goes
+        silent — but local callers such as metrics use the error form).
+        """
+        if self.crashed:
+            callback(WorkerCrashed(self.name, f"{self.name} already crashed"), None)
+            return
+        core = self._idle_core()
+        if core is None:
+            self._queue.append((application, cost, callback))
+            return
+        self._start(core, application, cost, callback)
+
+    def _idle_core(self) -> Optional[CoreSlot]:
+        for core in self.cores:
+            if not core.busy:
+                return core
+        return None
+
+    def task_duration(self, application: str, cost: float) -> float:
+        """Duration of a task, falling back to :attr:`default_rate` for
+        applications absent from the calibrated profile."""
+        if self.profile.supports(application):
+            return self.profile.task_duration(application, cost)
+        return cost / self.default_rate
+
+    def _start(
+        self,
+        core: CoreSlot,
+        application: str,
+        cost: float,
+        callback: CompletionCallback,
+    ) -> None:
+        duration = self.task_duration(application, cost)
+        core.busy = True
+        core.busy_until = self.scheduler.now + duration
+
+        def complete() -> None:
+            if self.crashed:
+                return
+            core.busy = False
+            core.tasks_completed += 1
+            core.busy_time += duration
+            callback(None, duration)
+            self._drain_queue()
+
+        event = self.scheduler.call_later(duration, complete)
+        self._pending_events.append(event)
+
+    def _drain_queue(self) -> None:
+        while self._queue:
+            core = self._idle_core()
+            if core is None:
+                return
+            application, cost, callback = self._queue.popleft()
+            self._start(core, application, cost, callback)
+
+    # -------------------------------------------------------------- failure
+    def crash(self) -> None:
+        """Crash-stop: drop every running and queued task, notify listeners."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crashed_at = self.scheduler.now
+        for event in self._pending_events:
+            event.cancel()
+        self._pending_events.clear()
+        self._queue.clear()
+        for listener in list(self._crash_listeners):
+            listener(self)
+
+    def on_crash(self, listener: Callable[["SimDevice"], None]) -> None:
+        """Register *listener* to be called when the device crashes."""
+        self._crash_listeners.append(listener)
+
+    # ----------------------------------------------------------- inspection
+    @property
+    def busy_cores(self) -> int:
+        return sum(1 for core in self.cores if core.busy)
+
+    @property
+    def tasks_completed(self) -> int:
+        return sum(core.tasks_completed for core in self.cores)
+
+    @property
+    def total_busy_time(self) -> float:
+        return sum(core.busy_time for core in self.cores)
+
+    def utilisation(self, window: float) -> float:
+        """Average core utilisation over *window* seconds."""
+        if window <= 0 or not self.cores:
+            return 0.0
+        return min(1.0, self.total_busy_time / (window * len(self.cores)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "crashed" if self.crashed else "up"
+        return (
+            f"<SimDevice {self.name} {state} cores={len(self.cores)} "
+            f"busy={self.busy_cores} done={self.tasks_completed}>"
+        )

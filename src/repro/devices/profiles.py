@@ -1,0 +1,249 @@
+"""Catalogue of the devices used in the paper's evaluation (Table 2).
+
+Each :class:`DeviceProfile` records the device's identity (as listed in the
+paper), the number of cores the evaluation used, and its **measured
+per-application processing rate** — the throughput (items per second) that
+the paper reports for that device in Table 2.
+
+These rates are a *calibration input* to the simulator, not an output we
+claim to re-derive: the absolute single-core speed of an iPhone SE or of a
+Grid5000 ``dahu`` node cannot be computed from first principles in a Python
+simulation.  What the reproduction validates on top of this calibration is
+Pando's coordination behaviour: that with a large-enough Limiter window the
+aggregate throughput approaches the sum of the per-device rates in every
+network setting (the headline claim of Table 2), that faster devices receive
+proportionally more inputs, that the per-device shares match, and that the
+tool tolerates churn while preserving ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "APPLICATIONS",
+    "APPLICATION_UNITS",
+    "DeviceProfile",
+    "LAN_DEVICES",
+    "VPN_DEVICES",
+    "WAN_DEVICES",
+    "ALL_DEVICES",
+    "MASTER_DEVICE",
+    "device_by_name",
+    "devices_for_setting",
+]
+
+#: Application identifiers, in the column order of Table 2.
+APPLICATIONS = [
+    "collatz",
+    "crypto",
+    "lender_test",
+    "raytrace",
+    "imageproc",
+    "ml_agent",
+]
+
+#: Unit reported by the paper for each application's throughput.
+APPLICATION_UNITS = {
+    "collatz": "Bignum/s",
+    "crypto": "Hashes/s",
+    "lender_test": "Tests/s",
+    "raytrace": "Frames/s",
+    "imageproc": "Images/s",
+    "ml_agent": "Steps/s",
+}
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """A volunteer device as characterised by the paper's Table 2."""
+
+    name: str
+    setting: str  # "lan" | "vpn" | "wan" | "master"
+    cores: int
+    cpu: str
+    year: int
+    browser: str
+    #: measured throughput (items/s) using ``cores`` cores, per application;
+    #: ``None`` means the paper did not report a value (e.g. image processing
+    #: on the WAN, whose http server was unreachable from PlanetLab).
+    rates: Dict[str, Optional[float]] = field(default_factory=dict)
+
+    def rate(self, application: str) -> float:
+        """Throughput of this device (all listed cores) for *application*."""
+        value = self.rates.get(application)
+        if value is None:
+            raise KeyError(
+                f"device {self.name!r} has no measured rate for {application!r}"
+            )
+        return value
+
+    def per_core_rate(self, application: str) -> float:
+        """Throughput of a single core of this device for *application*."""
+        return self.rate(application) / max(1, self.cores)
+
+    def supports(self, application: str) -> bool:
+        """Whether the paper reports a rate for *application* on this device."""
+        return self.rates.get(application) is not None
+
+    def task_duration(self, application: str, cost: float = 1.0) -> float:
+        """Seconds a single core needs to process *cost* work units."""
+        return cost / self.per_core_rate(application)
+
+
+def _profile(
+    name: str,
+    setting: str,
+    cores: int,
+    cpu: str,
+    year: int,
+    browser: str,
+    collatz: Optional[float],
+    crypto: Optional[float],
+    lender_test: Optional[float],
+    raytrace: Optional[float],
+    imageproc: Optional[float],
+    ml_agent: Optional[float],
+) -> DeviceProfile:
+    return DeviceProfile(
+        name=name,
+        setting=setting,
+        cores=cores,
+        cpu=cpu,
+        year=year,
+        browser=browser,
+        rates={
+            "collatz": collatz,
+            "crypto": crypto,
+            "lender_test": lender_test,
+            "raytrace": raytrace,
+            "imageproc": imageproc,
+            "ml_agent": ml_agent,
+        },
+    )
+
+
+#: The master always runs on one core of the MacBook Air 2011 (paper 5.2-5.4).
+MASTER_DEVICE = _profile(
+    "master.mbair2011", "master", 1, "Intel i7 1.8 GHz", 2011, "node.js",
+    None, None, None, None, None, None,
+)
+
+# --------------------------------------------------------------------- LAN
+LAN_DEVICES: List[DeviceProfile] = [
+    _profile(
+        "novena", "lan", 2, "Freescale iMX6 4x1.2 GHz ARMv7", 2015, "Firefox 60.3",
+        121.85, 16_185.0, 142.84, 0.66, 0.04, 51.74,
+    ),
+    _profile(
+        "asus-laptop", "lan", 3, "Pentium N3540 4x2.16 GHz", 2015, "Firefox 66.0",
+        490.45, 59_895.0, 622.64, 3.63, 0.10, 112.59,
+    ),
+    _profile(
+        "mbair-2011", "lan", 1, "Intel i7 2x1.8 GHz", 2011, "Firefox 66.0",
+        215.58, 58_693.0, 526.82, 2.94, 0.06, 68.81,
+    ),
+    _profile(
+        "iphone-se", "lan", 1, "Apple A9 2x1.85 GHz ARMv8", 2016, "Safari (iOS 12.1)",
+        336.18, 42_720.0, 509.64, 2.90, 0.33, 60.24,
+    ),
+    _profile(
+        "mbpro-2016", "lan", 2, "Intel i5 4x2.9 GHz", 2016, "Firefox 63.0",
+        1_045.58, 201_178.0, 1_801.76, 8.81, 0.19, 191.51,
+    ),
+]
+
+# --------------------------------------------------------------------- VPN
+VPN_DEVICES: List[DeviceProfile] = [
+    _profile(
+        "dahu.grenoble", "vpn", 1, "Intel Xeon Gold 6130", 2018, "Chrome 73 (Electron)",
+        642.04, 230_061.0, 1_341.77, 3.12, 0.44, 219.18,
+    ),
+    _profile(
+        "chetemy.lille", "vpn", 1, "Intel Xeon", 2016, "Chrome 73 (Electron)",
+        524.71, 206_195.0, 975.58, 2.04, 0.37, 167.03,
+    ),
+    _profile(
+        "petitprince.luxembourg", "vpn", 1, "Intel Xeon", 2013, "Chrome 73 (Electron)",
+        261.36, 136_189.0, 631.83, 1.47, 0.27, 124.00,
+    ),
+    _profile(
+        "nova.lyon", "vpn", 1, "Intel Xeon", 2016, "Chrome 73 (Electron)",
+        521.35, 199_901.0, 982.16, 1.95, 0.34, 164.57,
+    ),
+    _profile(
+        "grisou.nancy", "vpn", 1, "Intel Xeon", 2016, "Chrome 73 (Electron)",
+        541.53, 216_932.0, 1_026.26, 2.17, 0.36, 176.12,
+    ),
+    _profile(
+        "ecotype.nantes", "vpn", 1, "Intel Xeon", 2017, "Chrome 73 (Electron)",
+        479.07, 187_668.0, 939.07, 1.86, 0.33, 162.25,
+    ),
+    _profile(
+        "paravance.rennes", "vpn", 1, "Intel Xeon", 2014, "Chrome 73 (Electron)",
+        535.72, 215_096.0, 1_021.99, 2.19, 0.35, 176.41,
+    ),
+    _profile(
+        "uvb.sophia", "vpn", 1, "Intel Xeon X5670", 2011, "Chrome 73 (Electron)",
+        317.73, 142_061.0, 641.26, 1.57, 0.28, 133.88,
+    ),
+]
+
+# --------------------------------------------------------------------- WAN
+WAN_DEVICES: List[DeviceProfile] = [
+    _profile(
+        "cse-yellow.cse.chalmers.se", "wan", 1, "Intel Xeon", 2012, "Chrome 69 (Electron)",
+        470.49, 162_173.0, 996.89, 0.74, None, 148.85,
+    ),
+    _profile(
+        "mars.planetlab.haw-hamburg.de", "wan", 1, "Intel Xeon", 2011, "Chrome 69 (Electron)",
+        225.38, 93_189.0, 428.30, 0.64, None, 78.66,
+    ),
+    _profile(
+        "ple42.planet-lab.eu", "wan", 1, "Intel Westmere", 2010, "Chrome 69 (Electron)",
+        210.15, 82_297.0, 444.35, 0.54, None, 81.17,
+    ),
+    _profile(
+        "onelab2.pl.sophia.inria.fr", "wan", 1, "Intel Xeon", 2010, "Chrome 69 (Electron)",
+        201.43, 95_609.0, 459.66, 0.68, None, 83.57,
+    ),
+    _profile(
+        "planet2.elte.hu", "wan", 1, "Intel Core 2 Duo", 2009, "Chrome 69 (Electron)",
+        216.42, 85_927.0, 505.04, 0.73, None, 99.75,
+    ),
+    _profile(
+        "planet4.cs.huji.ac.il", "wan", 1, "Intel Xeon", 2011, "Chrome 69 (Electron)",
+        298.42, 112_363.0, 651.54, 0.77, None, 119.62,
+    ),
+    _profile(
+        "ple1.cesnet.cz", "wan", 1, "Intel Xeon", 2011, "Chrome 69 (Electron)",
+        223.22, 85_927.0, 499.27, 0.65, None, 102.76,
+    ),
+]
+
+ALL_DEVICES: List[DeviceProfile] = LAN_DEVICES + VPN_DEVICES + WAN_DEVICES
+
+_BY_NAME = {device.name: device for device in ALL_DEVICES + [MASTER_DEVICE]}
+
+
+def device_by_name(name: str) -> DeviceProfile:
+    """Look up a device profile by its catalogue name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; known devices: {sorted(_BY_NAME)}"
+        ) from None
+
+
+def devices_for_setting(setting: str) -> List[DeviceProfile]:
+    """All volunteer devices of one deployment setting (lan/vpn/wan)."""
+    setting = setting.lower()
+    groups = {"lan": LAN_DEVICES, "vpn": VPN_DEVICES, "wan": WAN_DEVICES}
+    try:
+        return list(groups[setting])
+    except KeyError:
+        raise ValueError(
+            f"unknown setting {setting!r}; expected one of {sorted(groups)}"
+        ) from None

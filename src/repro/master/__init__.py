@@ -1,0 +1,16 @@
+"""Pando master process: bundling, volunteer registry, deployment."""
+
+from .bundler import PANDO_PROTOCOL, Bundle, bundle_function, bundle_module
+from .registry import VolunteerRecord, VolunteerRegistry
+from .master import MasterConfig, PandoMaster
+
+__all__ = [
+    "PANDO_PROTOCOL",
+    "Bundle",
+    "bundle_function",
+    "bundle_module",
+    "VolunteerRecord",
+    "VolunteerRegistry",
+    "MasterConfig",
+    "PandoMaster",
+]

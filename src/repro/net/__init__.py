@@ -1,0 +1,48 @@
+"""Simulated network substrate: channels, transports, signalling, NAT.
+
+These modules replace the browser WebSocket/WebRTC stacks of the original
+Pando with in-process equivalents that preserve the properties Pando relies
+on — ordered duplex delivery, heartbeat-based failure detection, connection
+setup cost, latency and bandwidth (see DESIGN.md, substitution table).
+"""
+
+from .serialization import (
+    SizedPayload,
+    decode_binary,
+    decode_json,
+    encode_binary,
+    encode_json,
+    estimate_size,
+)
+from .message import CLOSE, CONTROL, DATA, HEARTBEAT, Message
+from .heartbeat import DEFAULT_INTERVAL, DEFAULT_TIMEOUT, HeartbeatMonitor
+from .channel import ChannelEndpoint, SimChannel
+from .websocket import WebSocketConnection
+from .webrtc import WebRTCConnection
+from .signaling import Deployment, PublicServer
+from .nat import NATConfig, NATModel
+
+__all__ = [
+    "SizedPayload",
+    "decode_binary",
+    "decode_json",
+    "encode_binary",
+    "encode_json",
+    "estimate_size",
+    "CLOSE",
+    "CONTROL",
+    "DATA",
+    "HEARTBEAT",
+    "Message",
+    "DEFAULT_INTERVAL",
+    "DEFAULT_TIMEOUT",
+    "HeartbeatMonitor",
+    "ChannelEndpoint",
+    "SimChannel",
+    "WebSocketConnection",
+    "WebRTCConnection",
+    "Deployment",
+    "PublicServer",
+    "NATConfig",
+    "NATModel",
+]

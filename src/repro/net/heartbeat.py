@@ -1,0 +1,115 @@
+"""Heartbeat-based failure detection.
+
+Pando relies on the heartbeat mechanism of WebSocket and WebRTC to *suspect*
+crash-stop failures under partial synchrony (paper section 2.3): if no
+message or heartbeat is received from the peer within a time bound, the
+connection is declared dead and the values lent to that worker are
+re-submitted elsewhere.  :class:`HeartbeatMonitor` implements both sides of
+this mechanism on top of the discrete-event scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..sim.scheduler import ScheduledEvent, Scheduler
+
+__all__ = ["HeartbeatMonitor", "DEFAULT_INTERVAL", "DEFAULT_TIMEOUT"]
+
+#: Default heartbeat period in seconds (WebSocket ping interval).
+DEFAULT_INTERVAL = 1.0
+#: Default suspicion timeout in seconds (a few missed heartbeats).
+DEFAULT_TIMEOUT = 3.0
+
+
+class HeartbeatMonitor:
+    """Send periodic heartbeats and suspect the peer after a silence timeout.
+
+    Parameters
+    ----------
+    scheduler:
+        The simulation scheduler.
+    send:
+        Called every *interval* seconds to emit a heartbeat frame to the peer.
+    on_failure:
+        Called once when the peer has been silent for longer than *timeout*.
+    interval / timeout:
+        Heartbeat period and suspicion bound, in seconds.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        send: Callable[[], None],
+        on_failure: Callable[[], None],
+        interval: float = DEFAULT_INTERVAL,
+        timeout: float = DEFAULT_TIMEOUT,
+    ) -> None:
+        if interval <= 0 or timeout <= 0:
+            raise ValueError("heartbeat interval and timeout must be positive")
+        self.scheduler = scheduler
+        self.interval = interval
+        self.timeout = timeout
+        self._send = send
+        self._on_failure = on_failure
+        self._last_seen = scheduler.now
+        self._stopped = False
+        self._failed = False
+        self._send_event: Optional[ScheduledEvent] = None
+        self._check_event: Optional[ScheduledEvent] = None
+
+    # ------------------------------------------------------------------ API
+    def start(self) -> None:
+        """Begin emitting heartbeats and checking for peer silence."""
+        self._last_seen = self.scheduler.now
+        self._schedule_send()
+        self._schedule_check()
+
+    def stop(self) -> None:
+        """Stop all timers (connection closed gracefully)."""
+        self._stopped = True
+        if self._send_event is not None:
+            self._send_event.cancel()
+        if self._check_event is not None:
+            self._check_event.cancel()
+
+    def touch(self) -> None:
+        """Record that the peer was heard from (any frame counts)."""
+        self._last_seen = self.scheduler.now
+
+    @property
+    def failed(self) -> bool:
+        """True once the peer has been suspected."""
+        return self._failed
+
+    # ------------------------------------------------------------ internals
+    def _schedule_send(self) -> None:
+        if self._stopped or self._failed:
+            return
+
+        def beat() -> None:
+            if self._stopped or self._failed:
+                return
+            self._send()
+            self._schedule_send()
+
+        self._send_event = self.scheduler.call_later(self.interval, beat)
+
+    def _schedule_check(self) -> None:
+        if self._stopped or self._failed:
+            return
+
+        def check() -> None:
+            if self._stopped or self._failed:
+                return
+            silence = self.scheduler.now - self._last_seen
+            if silence >= self.timeout:
+                self._failed = True
+                self.stop()
+                self._on_failure()
+                return
+            self._schedule_check()
+
+        # Re-check shortly after the moment the timeout could first expire.
+        delay = max(self.timeout - (self.scheduler.now - self._last_seen), 1e-6)
+        self._check_event = self.scheduler.call_later(delay, check)

@@ -1,0 +1,67 @@
+"""Wire messages exchanged over simulated channels."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .serialization import estimate_size
+
+__all__ = ["Message", "DATA", "HEARTBEAT", "CLOSE", "CONTROL"]
+
+#: Message kinds
+DATA = "data"
+HEARTBEAT = "heartbeat"
+CLOSE = "close"
+CONTROL = "control"
+
+_sequence = itertools.count()
+
+
+@dataclass
+class Message:
+    """A single frame travelling through a simulated channel.
+
+    ``size_bytes`` is used by the network model to charge transfer time;
+    heartbeats and control frames are small and fixed-size.
+    """
+
+    kind: str
+    payload: Any = None
+    sender: str = ""
+    size_bytes: int = 0
+    seq: int = field(default_factory=lambda: next(_sequence))
+
+    @classmethod
+    def data(cls, payload: Any, sender: str = "") -> "Message":
+        """Build a data frame, estimating its wire size from the payload."""
+        return cls(
+            kind=DATA,
+            payload=payload,
+            sender=sender,
+            size_bytes=max(16, estimate_size(payload)),
+        )
+
+    @classmethod
+    def heartbeat(cls, sender: str = "") -> "Message":
+        """Build a heartbeat (ping/pong) frame."""
+        return cls(kind=HEARTBEAT, payload=None, sender=sender, size_bytes=8)
+
+    @classmethod
+    def close(cls, sender: str = "", reason: Optional[str] = None) -> "Message":
+        """Build a graceful close frame."""
+        return cls(kind=CLOSE, payload=reason, sender=sender, size_bytes=16)
+
+    @classmethod
+    def control(cls, payload: Any, sender: str = "") -> "Message":
+        """Build a control frame (signalling, join/leave notifications)."""
+        return cls(
+            kind=CONTROL,
+            payload=payload,
+            sender=sender,
+            size_bytes=max(16, estimate_size(payload)),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<Message {self.kind} #{self.seq} from={self.sender!r} {self.size_bytes}B>"

@@ -1,0 +1,62 @@
+"""Network Address Translation model.
+
+WebRTC can in many cases establish direct browser-to-browser connections even
+through NAT (paper section 2.4.1), but not always: the paper reports that the
+WebTorrent-based variant sometimes took minutes or failed to connect.  The
+simulator models NAT as a per-host attribute plus a per-link traversal
+failure probability (from the :class:`~repro.sim.network.LinkProfile`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..sim.network import NetworkModel
+
+__all__ = ["NATConfig", "NATModel"]
+
+
+@dataclass(frozen=True)
+class NATConfig:
+    """NAT behaviour of one host."""
+
+    host: str
+    behind_nat: bool = False
+    #: probability that hole punching fails even when both sides try
+    traversal_failure_rate: float = 0.0
+
+
+class NATModel:
+    """Decide whether a direct connection between two hosts can be set up."""
+
+    def __init__(self, network: NetworkModel) -> None:
+        self.network = network
+        self._hosts: Dict[str, NATConfig] = {}
+
+    def configure(self, config: NATConfig) -> None:
+        """Register the NAT behaviour of a host."""
+        self._hosts[config.host] = config
+
+    def config_for(self, host: str) -> NATConfig:
+        """NAT configuration of *host* (defaults to no NAT)."""
+        return self._hosts.get(host, NATConfig(host=host))
+
+    def direct_connection_possible(self, host_a: str, host_b: str) -> bool:
+        """Sample whether a direct (non-relayed) connection can be set up.
+
+        If neither host is behind NAT the connection always succeeds; if at
+        least one is, failure is sampled from the per-host rate and the
+        link-profile's ``nat_failure_rate``.
+        """
+        config_a = self.config_for(host_a)
+        config_b = self.config_for(host_b)
+        if not config_a.behind_nat and not config_b.behind_nat:
+            return True
+        if self.network.nat_blocks_direct_connection(host_a, host_b):
+            return False
+        for config in (config_a, config_b):
+            if config.behind_nat and config.traversal_failure_rate > 0:
+                if self.network._rng.random() < config.traversal_failure_rate:
+                    return False
+        return True

@@ -1,0 +1,137 @@
+"""Simulated WebRTC data-channel connections.
+
+WebRTC lets two browsers communicate directly, in many cases even through
+NAT, removing the need for a server to relay all traffic (paper section
+2.4.1).  Its establishment is more expensive than WebSocket's: the two peers
+must exchange offer/answer and ICE candidates through a signalling channel —
+Pando uses a WebSocket to its public server for that — before the direct
+DTLS/SCTP association comes up.  The paper's WAN deployment (PlanetLab,
+section 5.4) uses WebRTC.
+
+:class:`WebRTCConnection` models this: connection setup pays several
+signalling round trips through the :class:`~repro.net.signaling.PublicServer`
+plus one direct round trip for ICE/DTLS; NAT traversal may fail, in which
+case the connection either falls back to relaying every frame through the
+server (``relay_fallback=True``) or fails with
+:class:`~repro.errors.NATTraversalError`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import NATTraversalError, SignallingError
+from ..sim.network import NetworkModel
+from ..sim.scheduler import Scheduler
+from .channel import SimChannel
+from .nat import NATModel
+from .signaling import PublicServer
+
+__all__ = ["WebRTCConnection"]
+
+
+class WebRTCConnection(SimChannel):
+    """A master <-> volunteer WebRTC data channel."""
+
+    #: ICE connectivity checks + DTLS handshake on the direct path
+    SETUP_ROUND_TRIPS = 1.5
+    #: offer/answer + ICE candidate exchanges through the signalling server
+    SIGNALLING_ROUND_TRIPS = 2
+    protocol = "rtc"
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        network: NetworkModel,
+        local_host: str,
+        remote_host: str,
+        signalling_server: Optional[PublicServer] = None,
+        nat_model: Optional[NATModel] = None,
+        relay_fallback: bool = True,
+        **kwargs,
+    ) -> None:
+        super().__init__(scheduler, network, local_host, remote_host, **kwargs)
+        self.signalling_server = signalling_server
+        self.nat_model = nat_model or NATModel(network)
+        self.relay_fallback = relay_fallback
+        self.used_relay = False
+
+    def connect(
+        self, cb: Callable[[Optional[BaseException], "WebRTCConnection"], None]
+    ) -> None:
+        """Signal through the public server, then bring up the direct path."""
+
+        def after_signalling() -> None:
+            if self.nat_model.direct_connection_possible(
+                self.local.host, self.remote.host
+            ):
+                self._establish_direct(cb)
+                return
+            if not self.relay_fallback:
+                cb(
+                    NATTraversalError(
+                        f"cannot establish a direct WebRTC connection between "
+                        f"{self.local.host} and {self.remote.host}"
+                    ),
+                    self,
+                )
+                return
+            # TURN-style fallback: every frame is relayed through the server.
+            if self.signalling_server is None:
+                cb(
+                    SignallingError(
+                        "relay fallback requested but no signalling server is available"
+                    ),
+                    self,
+                )
+                return
+            self.used_relay = True
+            self.relay_host = self.signalling_server.host
+            self._establish_direct(cb)
+
+        self._run_signalling(after_signalling, cb)
+
+    # ------------------------------------------------------------ internals
+    def _run_signalling(
+        self,
+        on_success: Callable[[], None],
+        cb: Callable[[Optional[BaseException], "WebRTCConnection"], None],
+    ) -> None:
+        if self.signalling_server is None:
+            # Both peers are directly reachable (e.g. tests): skip signalling.
+            on_success()
+            return
+
+        remaining = {"round_trips": self.SIGNALLING_ROUND_TRIPS}
+
+        def exchange(_payload=None) -> None:
+            if remaining["round_trips"] == 0:
+                on_success()
+                return
+            remaining["round_trips"] -= 1
+            self.signalling_server.relay_signal(
+                self.local.host,
+                self.remote.host,
+                {"type": "offer/answer", "remaining": remaining["round_trips"]},
+                exchange,
+            )
+
+        exchange()
+
+    def _establish_direct(
+        self, cb: Callable[[Optional[BaseException], "WebRTCConnection"], None]
+    ) -> None:
+        profile = self.network.profile(self.local.host, self.remote.host)
+        setup_delay = self.SETUP_ROUND_TRIPS * profile.rtt
+        if self.used_relay:
+            # Connectivity checks also go through the relay, roughly doubling.
+            setup_delay *= 2
+
+        def established() -> None:
+            self.established = True
+            self.established_at = self.scheduler.now
+            self.local.start()
+            self.remote.start()
+            cb(None, self)
+
+        self.scheduler.call_later(setup_delay, established)

@@ -1,0 +1,22 @@
+"""Simulated WebSocket connections.
+
+WebSocket is Pando's default transport when the volunteer can reach the
+master directly (same LAN, or a VPN such as the Grid5000 deployment of the
+paper, section 5.3).  Establishment costs a TCP handshake plus the HTTP
+upgrade, i.e. roughly two round trips, after which frames flow with the
+plain link latency and heartbeats (ping/pong) detect disconnections.
+"""
+
+from __future__ import annotations
+
+from .channel import SimChannel
+
+__all__ = ["WebSocketConnection"]
+
+
+class WebSocketConnection(SimChannel):
+    """A master <-> volunteer WebSocket connection."""
+
+    #: TCP handshake + HTTP upgrade
+    SETUP_ROUND_TRIPS = 2.0
+    protocol = "ws"

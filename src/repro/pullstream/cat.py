@@ -1,0 +1,69 @@
+"""Concatenate pull-stream sources (``pull-cat`` equivalent)."""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from .protocol import DONE, Callback, End, Source, is_error
+
+__all__ = ["cat"]
+
+
+def cat(sources: List[Source]) -> Source:
+    """Read each source of *sources* to completion, in order.
+
+    If one source fails, the remaining sources are aborted and the error is
+    propagated downstream.
+    """
+    remaining = list(sources)
+    state = {"ended": None}
+
+    def read(end: End, cb: Callback) -> None:
+        if state["ended"] is not None:
+            cb(state["ended"], None)
+            return
+        if end is not None:
+            state["ended"] = end if not isinstance(end, BaseException) else end
+            _abort_all(remaining, end, lambda: cb(state["ended"], None))
+            return
+        if not remaining:
+            state["ended"] = DONE
+            cb(DONE, None)
+            return
+
+        current = remaining[0]
+
+        def answer(answer_end: End, value: Any) -> None:
+            if answer_end is None:
+                cb(None, value)
+                return
+            if is_error(answer_end):
+                state["ended"] = answer_end
+                remaining.pop(0)
+                _abort_all(remaining, answer_end, lambda: cb(answer_end, None))
+                return
+            # Normal end of the current source: move to the next one.
+            remaining.pop(0)
+            read(None, cb)
+
+        current(None, answer)
+
+    read.pull_role = "source"
+    return read
+
+
+def _abort_all(sources: List[Source], end: End, done) -> None:
+    """Abort every source in *sources*, then call *done*."""
+    pending = {"n": len(sources)}
+    if pending["n"] == 0:
+        done()
+        return
+
+    def one_done(_end: End, _value) -> None:
+        pending["n"] -= 1
+        if pending["n"] == 0:
+            done()
+
+    for source in list(sources):
+        source(end if isinstance(end, BaseException) else DONE, one_done)
+    sources.clear()

@@ -1,0 +1,261 @@
+"""Standard pull-stream sinks.
+
+Sinks drive a source by repeatedly asking for values.  Because the simulated
+network modules answer callbacks asynchronously (through the event loop), a
+sink cannot always return its result synchronously; each sink therefore
+returns a :class:`SinkResult` whose ``value`` becomes available once the
+stream terminated, and accepts an optional ``done`` callback.
+
+A naive recursive implementation would exhaust Python's call stack on long
+synchronous streams (ask -> answer -> ask -> ...), so the asking loop is
+implemented with a re-entrancy trampoline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from ..errors import PandoError
+from .protocol import DONE, Callback, End, Source, is_done, is_error
+
+__all__ = [
+    "SinkResult",
+    "drain",
+    "collect",
+    "reduce",
+    "find",
+    "on_end",
+    "log",
+    "collect_sync",
+    "drain_sync",
+]
+
+
+class SinkResult:
+    """Completion handle returned by every sink.
+
+    Attributes
+    ----------
+    done:
+        True once the stream terminated (normally, by abort, or by error).
+    end:
+        The termination marker (``DONE`` or an exception).
+    value:
+        The sink-specific result (list for ``collect``, accumulator for
+        ``reduce``, matched element for ``find``, count for ``drain``).
+    """
+
+    def __init__(self) -> None:
+        self.done = False
+        self.end: End = None
+        self.value: Any = None
+        self._callbacks: List[Callable[["SinkResult"], None]] = []
+
+    def _finish(self, end: End, value: Any) -> None:
+        if self.done:
+            return
+        self.done = True
+        self.end = end
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def on_done(self, callback: Callable[["SinkResult"], None]) -> None:
+        """Register *callback* to run when the stream terminates."""
+        if self.done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def result(self) -> Any:
+        """Return the sink value, raising if the stream failed or is pending."""
+        if not self.done:
+            raise PandoError("stream has not terminated yet")
+        if is_error(self.end):
+            raise self.end  # type: ignore[misc]
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "done" if self.done else "pending"
+        return f"<SinkResult {state} value={self.value!r}>"
+
+
+def _ask_loop(
+    read: Source,
+    on_value: Callable[[Any], bool],
+    finish: Callable[[End], None],
+) -> None:
+    """Drive *read* until termination without unbounded recursion.
+
+    ``on_value`` returns False to abort the stream early.
+    """
+    state = {"looping": False, "pending": False, "aborted": False}
+
+    def ask() -> None:
+        if state["looping"]:
+            state["pending"] = True
+            return
+        state["looping"] = True
+        state["pending"] = True
+        while state["pending"]:
+            state["pending"] = False
+            answered = [False]
+
+            def answer(end: End, value: Any) -> None:
+                answered[0] = True
+                if end is not None:
+                    finish(end)
+                    return
+                if state["aborted"]:
+                    return
+                keep_going = on_value(value)
+                if keep_going is False:
+                    state["aborted"] = True
+                    read(DONE, lambda _e, _v: finish(DONE))
+                    return
+                ask()
+
+            read(None, answer)
+            if not answered[0]:
+                # The answer will arrive asynchronously; the ask loop resumes
+                # from within ``answer`` via a fresh call to ``ask``.
+                break
+        state["looping"] = False
+
+    ask()
+
+
+def drain(
+    op: Optional[Callable[[Any], Any]] = None,
+    done: Optional[Callable[[End], None]] = None,
+) -> Callable[[Source], SinkResult]:
+    """Consume every value, optionally applying *op* to each.
+
+    Returning ``False`` from *op* aborts the stream (like the JS ``pull.drain``).
+    The ``SinkResult.value`` is the number of values consumed.
+    """
+
+    def sink(read: Source) -> SinkResult:
+        result = SinkResult()
+        count = {"n": 0}
+
+        def on_value(value: Any) -> bool:
+            count["n"] += 1
+            if op is not None:
+                return op(value) is not False
+            return True
+
+        def finish(end: End) -> None:
+            result._finish(end, count["n"])
+            if done is not None:
+                done(end)
+
+        _ask_loop(read, on_value, finish)
+        return result
+
+    sink.pull_role = "sink"
+    return sink
+
+
+def collect(
+    done: Optional[Callable[[End, List[Any]], None]] = None,
+) -> Callable[[Source], SinkResult]:
+    """Accumulate all values into a list."""
+
+    def sink(read: Source) -> SinkResult:
+        result = SinkResult()
+        items: List[Any] = []
+
+        def on_value(value: Any) -> bool:
+            items.append(value)
+            return True
+
+        def finish(end: End) -> None:
+            result._finish(end, items)
+            if done is not None:
+                done(end, items)
+
+        _ask_loop(read, on_value, finish)
+        return result
+
+    sink.pull_role = "sink"
+    return sink
+
+
+def reduce(
+    fn: Callable[[Any, Any], Any],
+    initial: Any = None,
+    done: Optional[Callable[[End, Any], None]] = None,
+) -> Callable[[Source], SinkResult]:
+    """Fold the stream into a single value."""
+
+    def sink(read: Source) -> SinkResult:
+        result = SinkResult()
+        acc = {"value": initial}
+
+        def on_value(value: Any) -> bool:
+            acc["value"] = fn(acc["value"], value)
+            return True
+
+        def finish(end: End) -> None:
+            result._finish(end, acc["value"])
+            if done is not None:
+                done(end, acc["value"])
+
+        _ask_loop(read, on_value, finish)
+        return result
+
+    sink.pull_role = "sink"
+    return sink
+
+
+def find(
+    predicate: Callable[[Any], bool],
+    done: Optional[Callable[[End, Any], None]] = None,
+) -> Callable[[Source], SinkResult]:
+    """Stop at the first value satisfying *predicate* and abort upstream."""
+
+    def sink(read: Source) -> SinkResult:
+        result = SinkResult()
+        found = {"value": None, "hit": False}
+
+        def on_value(value: Any) -> bool:
+            if predicate(value):
+                found["value"] = value
+                found["hit"] = True
+                return False
+            return True
+
+        def finish(end: End) -> None:
+            result._finish(end, found["value"] if found["hit"] else None)
+            if done is not None:
+                done(end, result.value)
+
+        _ask_loop(read, on_value, finish)
+        return result
+
+    sink.pull_role = "sink"
+    return sink
+
+
+def on_end(callback: Callable[[End], None]) -> Callable[[Source], SinkResult]:
+    """Consume the stream, discarding values, and call *callback* at the end."""
+    return drain(op=None, done=callback)
+
+
+def log(prefix: str = "") -> Callable[[Source], SinkResult]:
+    """Print each value (debug helper)."""
+    return drain(op=lambda value: print(f"{prefix}{value!r}"))
+
+
+def collect_sync(read: Source) -> List[Any]:
+    """Collect a fully synchronous stream and return the list directly."""
+    result = collect()(read)
+    return result.result()
+
+
+def drain_sync(read: Source) -> int:
+    """Drain a fully synchronous stream and return the number of values."""
+    result = drain()(read)
+    return result.result()

@@ -1,0 +1,307 @@
+"""Standard pull-stream transformers (throughs).
+
+These are the building blocks Pando composes between its sources and sinks:
+``map``, ``filter``, ``take``, ``unique``, ``flatten``, plus ``batch`` /
+``unbatch`` which implement the input batching used to hide network latency
+in the paper's evaluation (section 5.5), and ``through`` which observes values
+without modifying them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+from .protocol import DONE, Callback, End, Source, is_error
+
+__all__ = [
+    "map_",
+    "async_map_cb",
+    "filter_",
+    "filter_not",
+    "take",
+    "unique",
+    "non_unique",
+    "flatten",
+    "batch",
+    "unbatch",
+    "through",
+    "tap",
+]
+
+
+def map_(fn: Callable[[Any], Any]) -> Callable[[Source], Source]:
+    """Apply *fn* synchronously to each value flowing through."""
+
+    def wrap(read: Source) -> Source:
+        def mapped(end: End, cb: Callback) -> None:
+            def answer(answer_end: End, value: Any) -> None:
+                if answer_end is not None:
+                    cb(answer_end, None)
+                    return
+                try:
+                    cb(None, fn(value))
+                except Exception as exc:
+                    # Abort upstream, then report the error downstream.
+                    read(exc, lambda _e, _v: cb(exc, None))
+
+            read(end, answer)
+
+        mapped.pull_role = "source"
+        return mapped
+
+    wrap.pull_role = "through"
+    return wrap
+
+
+def async_map_cb(fn: Callable[[Any, Callback], None]) -> Callable[[Source], Source]:
+    """Callback-style asynchronous map (see :mod:`repro.pullstream.async_map`).
+
+    Present here for symmetry with the JS module list; the richer
+    scheduler-aware version lives in ``async_map``.
+    """
+    from .async_map import async_map
+
+    return async_map(fn)
+
+
+def filter_(predicate: Callable[[Any], bool]) -> Callable[[Source], Source]:
+    """Only let through values for which *predicate* is true."""
+
+    def wrap(read: Source) -> Source:
+        def filtered(end: End, cb: Callback) -> None:
+            if end is not None:
+                read(end, cb)
+                return
+
+            def answer(answer_end: End, value: Any) -> None:
+                if answer_end is not None:
+                    cb(answer_end, None)
+                    return
+                try:
+                    keep = predicate(value)
+                except Exception as exc:
+                    read(exc, lambda _e, _v: cb(exc, None))
+                    return
+                if keep:
+                    cb(None, value)
+                else:
+                    read(None, answer)
+
+            read(None, answer)
+
+        filtered.pull_role = "source"
+        return filtered
+
+    wrap.pull_role = "through"
+    return wrap
+
+
+def filter_not(predicate: Callable[[Any], bool]) -> Callable[[Source], Source]:
+    """Complement of :func:`filter_`."""
+    return filter_(lambda value: not predicate(value))
+
+
+def take(n_or_test: Any, last: bool = False) -> Callable[[Source], Source]:
+    """Let through the first *n* values (or while a predicate holds).
+
+    When *n_or_test* is callable it acts as a "take while" predicate; with
+    ``last=True`` the first failing value is still emitted (mirrors the JS
+    ``pull.take`` options).
+    """
+    if callable(n_or_test):
+        test = n_or_test
+        counter = None
+    else:
+        counter = {"left": int(n_or_test)}
+        test = None
+
+    def wrap(read: Source) -> Source:
+        state = {"ended": None}
+
+        def taker(end: End, cb: Callback) -> None:
+            if state["ended"] is not None and end is None:
+                cb(state["ended"], None)
+                return
+            if end is not None:
+                read(end, cb)
+                return
+            if counter is not None and counter["left"] <= 0:
+                state["ended"] = DONE
+                read(DONE, lambda _e, _v: cb(DONE, None))
+                return
+
+            def answer(answer_end: End, value: Any) -> None:
+                if answer_end is not None:
+                    state["ended"] = answer_end
+                    cb(answer_end, None)
+                    return
+                if counter is not None:
+                    counter["left"] -= 1
+                    cb(None, value)
+                    return
+                if test(value):
+                    cb(None, value)
+                else:
+                    state["ended"] = DONE
+                    if last:
+                        cb(None, value)
+                    else:
+                        read(DONE, lambda _e, _v: cb(DONE, None))
+
+            read(None, answer)
+
+        taker.pull_role = "source"
+        return taker
+
+    wrap.pull_role = "through"
+    return wrap
+
+
+def unique(key: Optional[Callable[[Any], Any]] = None) -> Callable[[Source], Source]:
+    """Drop values whose key was already seen."""
+    key = key or (lambda value: value)
+    seen: set = set()
+
+    def first_occurrence(value: Any) -> bool:
+        k = key(value)
+        if k in seen:
+            return False
+        seen.add(k)
+        return True
+
+    return filter_(first_occurrence)
+
+
+def non_unique(key: Optional[Callable[[Any], Any]] = None) -> Callable[[Source], Source]:
+    """Only let through values whose key was seen before (duplicates)."""
+    key = key or (lambda value: value)
+    seen: set = set()
+
+    def is_duplicate(value: Any) -> bool:
+        k = key(value)
+        if k in seen:
+            return True
+        seen.add(k)
+        return False
+
+    return filter_(is_duplicate)
+
+
+def flatten() -> Callable[[Source], Source]:
+    """Flatten a stream of iterables into a stream of their elements."""
+
+    def wrap(read: Source) -> Source:
+        buffer: list = []
+        state = {"ended": None}
+
+        def flat(end: End, cb: Callback) -> None:
+            if end is not None:
+                read(end, cb)
+                return
+            if buffer:
+                cb(None, buffer.pop(0))
+                return
+            if state["ended"] is not None:
+                cb(state["ended"], None)
+                return
+
+            def answer(answer_end: End, value: Any) -> None:
+                if answer_end is not None:
+                    state["ended"] = answer_end
+                    cb(answer_end, None)
+                    return
+                try:
+                    buffer.extend(list(value))
+                except TypeError:
+                    buffer.append(value)
+                flat(None, cb)
+
+            read(None, answer)
+
+        flat.pull_role = "source"
+        return flat
+
+    wrap.pull_role = "through"
+    return wrap
+
+
+def batch(size: int) -> Callable[[Source], Source]:
+    """Group consecutive values into lists of at most *size* elements.
+
+    Pando sends inputs to volunteers in batches (``--batch-size``) so that the
+    transfer of the next inputs overlaps with the computation of the current
+    one, hiding network latency (paper sections 5.2-5.5).
+    """
+    if size < 1:
+        raise ValueError("batch size must be >= 1")
+
+    def wrap(read: Source) -> Source:
+        state = {"ended": None}
+
+        def batched(end: End, cb: Callback) -> None:
+            if end is not None:
+                read(end, cb)
+                return
+            if state["ended"] is not None:
+                cb(state["ended"], None)
+                return
+            chunk: list = []
+
+            def answer(answer_end: End, value: Any) -> None:
+                if answer_end is not None:
+                    state["ended"] = answer_end
+                    if chunk:
+                        cb(None, list(chunk))
+                    else:
+                        cb(answer_end, None)
+                    return
+                chunk.append(value)
+                if len(chunk) >= size:
+                    cb(None, list(chunk))
+                else:
+                    read(None, answer)
+
+            read(None, answer)
+
+        batched.pull_role = "source"
+        return batched
+
+    wrap.pull_role = "through"
+    return wrap
+
+
+def unbatch() -> Callable[[Source], Source]:
+    """Inverse of :func:`batch`: flatten lists back into single values."""
+    return flatten()
+
+
+def through(
+    on_value: Optional[Callable[[Any], None]] = None,
+    on_end: Optional[Callable[[End], None]] = None,
+) -> Callable[[Source], Source]:
+    """Observe values and termination without altering the stream."""
+
+    def wrap(read: Source) -> Source:
+        def observed(end: End, cb: Callback) -> None:
+            def answer(answer_end: End, value: Any) -> None:
+                if answer_end is not None:
+                    if on_end is not None:
+                        on_end(answer_end)
+                    cb(answer_end, None)
+                    return
+                if on_value is not None:
+                    on_value(value)
+                cb(None, value)
+
+            read(end, answer)
+
+        observed.pull_role = "source"
+        return observed
+
+    wrap.pull_role = "through"
+    return wrap
+
+
+def tap(fn: Callable[[Any], None]) -> Callable[[Source], Source]:
+    """Alias of :func:`through` observing only values."""
+    return through(on_value=fn)

@@ -1,0 +1,34 @@
+"""Discrete-event simulation runtime (clock, scheduler, network, failures)."""
+
+from .clock import VirtualClock
+from .scheduler import ScheduledEvent, Scheduler
+from .network import (
+    LAN_PROFILE,
+    LOOPBACK_PROFILE,
+    LinkProfile,
+    NetworkModel,
+    VPN_PROFILE,
+    WAN_PROFILE,
+    profile_for_setting,
+)
+from .failures import ChurnModel, FailureEvent, FailureSchedule
+from .metrics import MetricsCollector, ThroughputReport, WorkerMetrics
+
+__all__ = [
+    "VirtualClock",
+    "ScheduledEvent",
+    "Scheduler",
+    "LAN_PROFILE",
+    "LOOPBACK_PROFILE",
+    "LinkProfile",
+    "NetworkModel",
+    "VPN_PROFILE",
+    "WAN_PROFILE",
+    "profile_for_setting",
+    "ChurnModel",
+    "FailureEvent",
+    "FailureSchedule",
+    "MetricsCollector",
+    "ThroughputReport",
+    "WorkerMetrics",
+]

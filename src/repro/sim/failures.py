@@ -1,0 +1,129 @@
+"""Failure injection for simulated deployments.
+
+Pando assumes crash-stop failures detected through heartbeats (paper
+section 2.3): a browser tab is closed or the device loses connectivity, and
+the values it was processing are re-submitted to other workers.  The classes
+below describe *when* such failures happen so that scenarios (Figure 4, the
+fault-tolerance tests, the replication ablation) can inject them
+deterministically or randomly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["FailureEvent", "FailureSchedule", "ChurnModel"]
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """A single crash (or rejoin) of a named volunteer."""
+
+    time: float
+    worker_id: str
+    kind: str = "crash"  # "crash" | "leave" | "join"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("crash", "leave", "join"):
+            raise ValueError(f"unknown failure event kind: {self.kind!r}")
+
+
+class FailureSchedule:
+    """An explicit list of failure events, ordered by time."""
+
+    def __init__(self, events: Optional[Sequence[FailureEvent]] = None) -> None:
+        self._events: List[FailureEvent] = sorted(
+            events or [], key=lambda event: event.time
+        )
+
+    def add(self, event: FailureEvent) -> "FailureSchedule":
+        """Insert an event, keeping the schedule sorted."""
+        self._events.append(event)
+        self._events.sort(key=lambda item: item.time)
+        return self
+
+    def crash(self, time: float, worker_id: str) -> "FailureSchedule":
+        """Convenience: schedule a crash of *worker_id* at *time*."""
+        return self.add(FailureEvent(time=time, worker_id=worker_id, kind="crash"))
+
+    def join(self, time: float, worker_id: str) -> "FailureSchedule":
+        """Convenience: schedule *worker_id* joining at *time*."""
+        return self.add(FailureEvent(time=time, worker_id=worker_id, kind="join"))
+
+    def leave(self, time: float, worker_id: str) -> "FailureSchedule":
+        """Convenience: schedule a graceful departure of *worker_id* at *time*."""
+        return self.add(FailureEvent(time=time, worker_id=worker_id, kind="leave"))
+
+    @property
+    def events(self) -> List[FailureEvent]:
+        return list(self._events)
+
+    def events_for(self, worker_id: str) -> List[FailureEvent]:
+        """Events concerning one worker."""
+        return [event for event in self._events if event.worker_id == worker_id]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+
+class ChurnModel:
+    """Generate random crash/rejoin schedules for churn experiments.
+
+    Each worker crashes after an exponentially-distributed up-time with mean
+    ``mean_uptime`` and, when ``rejoin`` is enabled, returns after an
+    exponentially-distributed down-time with mean ``mean_downtime``.
+    """
+
+    def __init__(
+        self,
+        mean_uptime: float,
+        mean_downtime: float = 0.0,
+        rejoin: bool = False,
+        seed: Optional[int] = None,
+    ) -> None:
+        if mean_uptime <= 0:
+            raise ValueError("mean_uptime must be positive")
+        self.mean_uptime = mean_uptime
+        self.mean_downtime = mean_downtime
+        self.rejoin = rejoin
+        self._rng = random.Random(seed)
+
+    def schedule_for(
+        self,
+        worker_ids: Sequence[str],
+        horizon: float,
+        start: float = 0.0,
+    ) -> FailureSchedule:
+        """Generate a schedule covering ``[start, start + horizon)``."""
+        schedule = FailureSchedule()
+        for worker_id in worker_ids:
+            time = start
+            alive = True
+            while time < start + horizon:
+                if alive:
+                    time += self._rng.expovariate(1.0 / self.mean_uptime)
+                    if time >= start + horizon:
+                        break
+                    schedule.crash(time, worker_id)
+                    alive = False
+                    if not self.rejoin:
+                        break
+                else:
+                    downtime = (
+                        self._rng.expovariate(1.0 / self.mean_downtime)
+                        if self.mean_downtime > 0
+                        else 0.0
+                    )
+                    time += downtime
+                    if time >= start + horizon:
+                        break
+                    schedule.add(
+                        FailureEvent(time=time, worker_id=worker_id, kind="join")
+                    )
+                    alive = True
+        return schedule

@@ -1,0 +1,157 @@
+"""Throughput and utilisation metrics collected during simulated runs.
+
+The paper measures, for each worker, "the computation duration and the number
+of items processed ... over a five minute period, from which we derived the
+throughput" and checks "that the total of all devices corresponded to the
+throughput observed at the output of Pando" (section 5.1).
+:class:`MetricsCollector` reproduces exactly those measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["WorkerMetrics", "MetricsCollector", "ThroughputReport"]
+
+
+@dataclass
+class WorkerMetrics:
+    """Per-worker counters over the measurement window."""
+
+    worker_id: str
+    items_processed: int = 0
+    compute_time: float = 0.0
+    first_item_at: Optional[float] = None
+    last_item_at: Optional[float] = None
+
+    def record(self, timestamp: float, duration: float, items: int = 1) -> None:
+        """Record the completion of *items* work unit(s) taking *duration* seconds."""
+        self.items_processed += items
+        self.compute_time += duration
+        if self.first_item_at is None:
+            self.first_item_at = timestamp
+        self.last_item_at = timestamp
+
+    def throughput(self, window: float) -> float:
+        """Items per second over a window of *window* seconds."""
+        if window <= 0:
+            return 0.0
+        return self.items_processed / window
+
+    def utilisation(self, window: float) -> float:
+        """Fraction of the window spent computing."""
+        if window <= 0:
+            return 0.0
+        return min(1.0, self.compute_time / window)
+
+
+@dataclass
+class ThroughputReport:
+    """Aggregated result of one measurement run (one Table-2 cell group)."""
+
+    application: str
+    setting: str
+    window: float
+    total_items: int
+    total_throughput: float
+    per_worker_throughput: Dict[str, float]
+    per_worker_share: Dict[str, float]
+    per_worker_items: Dict[str, int]
+    output_items: int
+    output_throughput: float
+
+    def as_dict(self) -> dict:
+        return {
+            "application": self.application,
+            "setting": self.setting,
+            "window": self.window,
+            "total_items": self.total_items,
+            "total_throughput": self.total_throughput,
+            "per_worker_throughput": dict(self.per_worker_throughput),
+            "per_worker_share": dict(self.per_worker_share),
+            "per_worker_items": dict(self.per_worker_items),
+            "output_items": self.output_items,
+            "output_throughput": self.output_throughput,
+        }
+
+
+class MetricsCollector:
+    """Collect per-worker and output counters during a simulation run."""
+
+    def __init__(self) -> None:
+        self._workers: Dict[str, WorkerMetrics] = {}
+        self.output_items = 0
+        self.window_start = 0.0
+        self.window_end: Optional[float] = None
+        #: when False, records are ignored (used to exclude the warm-up
+        #: period during which connections are still being established)
+        self.enabled = True
+
+    def worker(self, worker_id: str) -> WorkerMetrics:
+        """Return (creating if needed) the metrics slot of *worker_id*."""
+        if worker_id not in self._workers:
+            self._workers[worker_id] = WorkerMetrics(worker_id)
+        return self._workers[worker_id]
+
+    def record_work(
+        self, worker_id: str, timestamp: float, duration: float, items: int = 1
+    ) -> None:
+        """Record completed work on a worker."""
+        if not self.enabled:
+            return
+        self.worker(worker_id).record(timestamp, duration, items)
+
+    def record_output(self, items: int = 1) -> None:
+        """Record results observed at the output of Pando."""
+        if not self.enabled:
+            return
+        self.output_items += items
+
+    def start_window(self, timestamp: float) -> None:
+        """Mark the start of the measurement window and enable collection."""
+        self.window_start = timestamp
+        self.enabled = True
+
+    def end_window(self, timestamp: float) -> None:
+        """Mark the end of the measurement window and disable collection."""
+        self.window_end = timestamp
+        self.enabled = False
+
+    @property
+    def workers(self) -> Dict[str, WorkerMetrics]:
+        return dict(self._workers)
+
+    def report(self, application: str, setting: str) -> ThroughputReport:
+        """Produce a :class:`ThroughputReport` for the completed window."""
+        if self.window_end is None:
+            raise ValueError("end_window() must be called before report()")
+        window = self.window_end - self.window_start
+        per_worker_items = {
+            worker_id: metrics.items_processed
+            for worker_id, metrics in self._workers.items()
+        }
+        total_items = sum(per_worker_items.values())
+        per_worker_throughput = {
+            worker_id: metrics.throughput(window)
+            for worker_id, metrics in self._workers.items()
+        }
+        total_throughput = sum(per_worker_throughput.values())
+        per_worker_share = {
+            worker_id: (
+                100.0 * throughput / total_throughput if total_throughput > 0 else 0.0
+            )
+            for worker_id, throughput in per_worker_throughput.items()
+        }
+        return ThroughputReport(
+            application=application,
+            setting=setting,
+            window=window,
+            total_items=total_items,
+            total_throughput=total_throughput,
+            per_worker_throughput=per_worker_throughput,
+            per_worker_share=per_worker_share,
+            per_worker_items=per_worker_items,
+            output_items=self.output_items,
+            output_throughput=self.output_items / window if window > 0 else 0.0,
+        )

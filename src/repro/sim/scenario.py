@@ -1,0 +1,278 @@
+"""Deployment scenarios: build and run complete simulated Pando deployments.
+
+A :class:`DeploymentScenario` assembles every piece of the system — master,
+public server, volunteers with their devices, network model, failure
+schedule — for one of the paper's three settings (LAN, VPN, WAN) and runs it
+in virtual time.  Two modes are provided:
+
+* :meth:`DeploymentScenario.run_measurement` reproduces the paper's
+  methodology (section 5.1): an effectively infinite input stream is
+  processed for a fixed measurement window after a warm-up, and per-worker
+  throughput is derived from the number of items each worker completed —
+  this regenerates the rows of Table 2;
+* :meth:`DeploymentScenario.run_to_completion` processes a finite list of
+  inputs until the output stream ends — used by integration tests, the
+  Figure-4 deployment example and the fault-tolerance experiments.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from ..apps.base import Application
+from ..devices.profiles import DeviceProfile, devices_for_setting
+from ..errors import DeploymentError
+from ..master.bundler import bundle_function
+from ..master.master import MasterConfig, PandoMaster
+from ..net.signaling import PublicServer
+from ..pullstream import collect, drain, from_iterable, pull
+from ..worker.volunteer import SimVolunteer
+from .failures import FailureSchedule
+from .metrics import MetricsCollector, ThroughputReport
+from .network import NetworkModel, profile_for_setting
+from .scheduler import Scheduler
+
+__all__ = ["ScenarioConfig", "ScenarioResult", "DeploymentScenario", "default_batch_size"]
+
+#: batch sizes used by the paper per setting (sections 5.2-5.4)
+PAPER_BATCH_SIZES = {"lan": 2, "vpn": 2, "wan": 4, "loopback": 2}
+#: transports used by the paper per setting
+PAPER_TRANSPORTS = {"lan": "websocket", "vpn": "websocket", "wan": "webrtc", "loopback": "websocket"}
+
+
+def default_batch_size(setting: str) -> int:
+    """The batch size the paper used for a given deployment setting."""
+    return PAPER_BATCH_SIZES.get(setting.lower(), 2)
+
+
+@dataclass
+class ScenarioConfig:
+    """Everything needed to build one simulated deployment."""
+
+    application: Application
+    setting: str = "lan"
+    devices: Optional[List[DeviceProfile]] = None
+    batch_size: Optional[int] = None
+    transport: Optional[str] = None
+    #: measurement window in virtual seconds (the paper uses 300 s; the
+    #: default is shorter to keep the test suite fast — benches override it)
+    duration: float = 60.0
+    #: virtual seconds granted for connections to establish before measuring
+    warmup: float = 5.0
+    use_public_server: Optional[bool] = None
+    failure_schedule: Optional[FailureSchedule] = None
+    #: device name -> join time (virtual seconds); missing devices join at 0
+    join_times: Dict[str, float] = field(default_factory=dict)
+    #: tabs (cores) contributed per device name; defaults to the profile's cores
+    tabs: Dict[str, int] = field(default_factory=dict)
+    heartbeat_interval: float = 1.0
+    heartbeat_timeout: float = 3.0
+    #: deliver outputs in input order (False = unordered StreamLender)
+    ordered: bool = True
+    seed: Optional[int] = 42
+
+    def resolved_devices(self) -> List[DeviceProfile]:
+        return list(
+            self.devices if self.devices is not None else devices_for_setting(self.setting)
+        )
+
+    def resolved_batch_size(self) -> int:
+        return (
+            self.batch_size
+            if self.batch_size is not None
+            else default_batch_size(self.setting)
+        )
+
+    def resolved_transport(self) -> str:
+        return (
+            self.transport
+            if self.transport is not None
+            else PAPER_TRANSPORTS.get(self.setting.lower(), "websocket")
+        )
+
+    def resolved_public_server(self) -> bool:
+        if self.use_public_server is not None:
+            return self.use_public_server
+        return self.resolved_transport() == "webrtc"
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of a scenario run."""
+
+    report: Optional[ThroughputReport]
+    outputs: Optional[List[Any]]
+    completed_at: Optional[float]
+    lender_stats: Dict[str, Any]
+    registry: Dict[str, Any]
+    log: List[str]
+    network_bytes: int
+    scheduler_events: int
+
+    def as_dict(self) -> dict:
+        return {
+            "report": self.report.as_dict() if self.report else None,
+            "outputs": self.outputs,
+            "completed_at": self.completed_at,
+            "lender_stats": self.lender_stats,
+            "registry": self.registry,
+            "network_bytes": self.network_bytes,
+            "scheduler_events": self.scheduler_events,
+        }
+
+
+class DeploymentScenario:
+    """Build and run one simulated Pando deployment."""
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        self.config = config
+        self.app = config.application
+        self.scheduler = Scheduler()
+        self.network = NetworkModel(
+            default_profile=profile_for_setting(config.setting), seed=config.seed
+        )
+        self.metrics = MetricsCollector()
+        self.public_server: Optional[PublicServer] = (
+            PublicServer(self.scheduler, self.network)
+            if config.resolved_public_server()
+            else None
+        )
+        self.master = PandoMaster(
+            bundle_function(
+                self.app.processing_function(),
+                name=self.app.name,
+                application=self.app,
+            ),
+            config=MasterConfig(
+                batch_size=config.resolved_batch_size(),
+                transport=config.resolved_transport(),
+                ordered=config.ordered,
+                heartbeat_interval=config.heartbeat_interval,
+                heartbeat_timeout=config.heartbeat_timeout,
+            ),
+            scheduler=self.scheduler,
+            network=self.network,
+            public_server=self.public_server,
+            metrics=self.metrics,
+            host="master",
+        )
+        self.volunteers: Dict[str, SimVolunteer] = {}
+        self._build_volunteers()
+
+    # ------------------------------------------------------------- building
+    def _build_volunteers(self) -> None:
+        for profile in self.config.resolved_devices():
+            tabs = self.config.tabs.get(profile.name, profile.cores)
+            volunteer = SimVolunteer(
+                profile, self.scheduler, host=profile.name, tabs=tabs
+            )
+            self.volunteers[profile.name] = volunteer
+
+    def _schedule_joins(self, url: str) -> None:
+        for name, volunteer in self.volunteers.items():
+            join_time = self.config.join_times.get(name, 0.0)
+            if self.public_server is not None:
+                self.scheduler.call_at(
+                    join_time, volunteer.join_url, url, self.public_server
+                )
+            else:
+                self.scheduler.call_at(join_time, volunteer.join, self.master)
+
+    def _schedule_failures(self) -> None:
+        schedule = self.config.failure_schedule
+        if schedule is None:
+            return
+        for event in schedule:
+            volunteer = self.volunteers.get(event.worker_id)
+            if volunteer is None:
+                raise DeploymentError(
+                    f"failure schedule references unknown device {event.worker_id!r}"
+                )
+            if event.kind == "crash":
+                self.scheduler.call_at(event.time, volunteer.crash)
+            elif event.kind == "leave":
+                self.scheduler.call_at(event.time, volunteer.leave)
+            elif event.kind == "join":
+                # Override/add a join time.
+                self.config.join_times[event.worker_id] = event.time
+
+    # ------------------------------------------------------------ execution
+    def run_measurement(self) -> ScenarioResult:
+        """Measure steady-state throughput over the configured window."""
+        config = self.config
+        inputs = (
+            self.app.wrap_input(value) for value in self.app.generate_inputs(None)
+        )
+        url = self.master.serve()
+        self._schedule_failures()
+        self._schedule_joins(url)
+        sink_result = pull(from_iterable(inputs), self.master, drain())
+
+        # Warm-up, then measure.
+        self.metrics.enabled = False
+        self.scheduler.run_until(config.warmup)
+        self.metrics.start_window(self.scheduler.now)
+        self.scheduler.run_until(config.warmup + config.duration)
+        self.metrics.end_window(self.scheduler.now)
+        self.master.shutdown()
+
+        report = self.metrics.report(self.app.name, config.setting)
+        return self._result(report=report, outputs=None, completed_at=None)
+
+    def run_to_completion(
+        self,
+        inputs: Iterable[Any],
+        wrap: bool = True,
+        max_virtual_time: float = 24 * 3600.0,
+    ) -> ScenarioResult:
+        """Process a finite input list until the output stream terminates."""
+        values = [self.app.wrap_input(v) if wrap else v for v in inputs]
+        url = self.master.serve()
+        self._schedule_failures()
+        self._schedule_joins(url)
+        sink_result = pull(from_iterable(values), self.master, collect())
+
+        self.metrics.start_window(self.scheduler.now)
+        self.scheduler.run(
+            until=lambda: sink_result.done or self.scheduler.now > max_virtual_time
+        )
+        self.metrics.end_window(self.scheduler.now)
+        self.master.shutdown()
+
+        if not sink_result.done:
+            raise DeploymentError(
+                "deployment stalled before completing its input stream "
+                f"(processed {self.metrics.output_items} of {len(values)})"
+            )
+        report = self.metrics.report(self.app.name, self.config.setting)
+        return self._result(
+            report=report,
+            outputs=list(sink_result.value),
+            completed_at=self.scheduler.now,
+        )
+
+    # ------------------------------------------------------------- reporting
+    def _result(
+        self,
+        report: Optional[ThroughputReport],
+        outputs: Optional[List[Any]],
+        completed_at: Optional[float],
+    ) -> ScenarioResult:
+        registry = {
+            "joins": self.master.registry.joins,
+            "crashes": self.master.registry.crashes,
+            "leaves": self.master.registry.leaves,
+            "volunteers": len(self.master.registry),
+        }
+        return ScenarioResult(
+            report=report,
+            outputs=outputs,
+            completed_at=completed_at,
+            lender_stats=self.master.stats.as_dict(),
+            registry=registry,
+            log=self.master.log,
+            network_bytes=self.network.total_bytes(),
+            scheduler_events=self.scheduler.events_processed,
+        )

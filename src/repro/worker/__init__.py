@@ -1,0 +1,6 @@
+"""Volunteer-side components: browser tabs and volunteers."""
+
+from .worker import BrowserTab
+from .volunteer import SimVolunteer
+
+__all__ = ["BrowserTab", "SimVolunteer"]

@@ -1,0 +1,296 @@
+"""Tests for the application implementations (paper section 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    ArxivTaggingApplication,
+    CollatzApplication,
+    CryptoMiningApplication,
+    GridWorld,
+    ImageProcessingApplication,
+    ImageStore,
+    LenderTestApplication,
+    MiningMonitor,
+    MLAgentApplication,
+    QLearningAgent,
+    RaytraceApplication,
+    SAMPLE_PAPERS,
+    SimulatedTagger,
+    assemble_animation,
+    box_blur,
+    collatz_steps,
+    hash_attempt,
+    meets_difficulty,
+    registry,
+    render_scene,
+    run_random_execution,
+    synthesize_tile,
+)
+
+
+def run_process(app, value):
+    """Run app.process synchronously and return (err, result)."""
+    outcome = {}
+    app.process(value, lambda err, result=None: outcome.update(err=err, result=result))
+    return outcome["err"], outcome["result"]
+
+
+class TestRegistry:
+    def test_all_paper_applications_registered(self):
+        for name in ("collatz", "crypto", "lender_test", "raytrace", "imageproc",
+                     "ml_agent", "arxiv"):
+            assert name in registry
+
+    def test_create_unknown_raises(self):
+        with pytest.raises(KeyError):
+            registry.create("quantum-folding")
+
+
+class TestCollatz:
+    def test_known_step_counts(self):
+        assert collatz_steps(1) == 0
+        assert collatz_steps(2) == 1
+        assert collatz_steps(6) == 8
+        assert collatz_steps(27) == 111
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            collatz_steps(0)
+
+    def test_process_finds_max_in_batch(self):
+        app = CollatzApplication(offset=0, batch=10)
+        err, result = run_process(app, {"first": 20, "count": 10})
+        assert err is None
+        assert result["checked"] == 10
+        assert result["steps"] == max(collatz_steps(n) for n in range(20, 30))
+
+    def test_inputs_are_contiguous_batches(self):
+        app = CollatzApplication(offset=0, batch=5)
+        first, second = list(app.generate_inputs(2))
+        assert second["first"] == first["first"] + 5
+
+    def test_cost_equals_batch_size(self):
+        app = CollatzApplication()
+        assert app.cost({"first": 1, "count": 250}) == 250
+
+    def test_postprocess_picks_max(self):
+        app = CollatzApplication()
+        best = app.postprocess([{"n": 1, "steps": 5}, {"n": 2, "steps": 50}, {"n": 3, "steps": 10}])
+        assert best["n"] == 2
+
+    def test_handles_wrapped_input(self):
+        app = CollatzApplication(offset=0)
+        wrapped = app.wrap_input({"first": 5, "count": 3})
+        err, result = run_process(app, wrapped)
+        assert err is None and result["checked"] == 3
+
+
+class TestCrypto:
+    def test_hash_is_deterministic(self):
+        assert hash_attempt("block", 42) == hash_attempt("block", 42)
+        assert hash_attempt("block", 42) != hash_attempt("block", 43)
+
+    def test_difficulty_check(self):
+        assert meets_difficulty(1, 200)
+        assert not meets_difficulty(1 << 250, 10)
+
+    def test_process_reports_found_nonce(self):
+        app = CryptoMiningApplication(difficulty_bits=4, range_size=200)
+        err, result = run_process(
+            app, {"block": "b", "start": 0, "count": 5000, "difficulty_bits": 4}
+        )
+        assert err is None
+        assert result["found"]
+        assert meets_difficulty(hash_attempt("b", result["nonce"]), 4)
+
+    def test_process_reports_not_found(self):
+        app = CryptoMiningApplication(difficulty_bits=200)
+        err, result = run_process(
+            app, {"block": "b", "start": 0, "count": 10, "difficulty_bits": 200}
+        )
+        assert err is None and not result["found"]
+
+    def test_monitor_advances_chain(self):
+        app = CryptoMiningApplication(difficulty_bits=6, range_size=500)
+        monitor = MiningMonitor(app, target_height=2)
+        attempts = monitor.attempts()
+        mined = 0
+        for attempt in attempts:
+            err, result = run_process(app, attempt)
+            monitor.record_result(result)
+            mined += 1
+            if monitor.done or mined > 200:
+                break
+        assert monitor.done
+        assert len(monitor.chain) == 2
+        assert monitor.chain[0]["height"] == 0
+
+    def test_monitor_ignores_stale_results(self):
+        app = CryptoMiningApplication()
+        monitor = MiningMonitor(app, target_height=2)
+        monitor.record_result({"found": True, "nonce": 5, "height": 0})
+        monitor.record_result({"found": True, "nonce": 9, "height": 0})  # stale
+        assert monitor.height == 1
+        assert len(monitor.chain) == 1
+
+
+class TestRaytracer:
+    def test_render_shape_and_dtype(self):
+        image = render_scene(30.0, width=16, height=12)
+        assert image.shape == (12, 16, 3)
+        assert image.dtype == np.uint8
+
+    def test_render_depends_on_angle(self):
+        assert not np.array_equal(render_scene(0.0, 16, 12), render_scene(90.0, 16, 12))
+
+    def test_scene_has_content(self):
+        image = render_scene(0.0, 16, 12)
+        assert image.max() > 40      # something bright is visible
+        assert image.std() > 5       # not a flat image
+
+    def test_process_roundtrip(self):
+        app = RaytraceApplication(width=8, height=6)
+        err, result = run_process(app, {"angle": 45.0, "frame": 3})
+        assert err is None
+        from repro.net.serialization import decode_binary
+
+        pixels = decode_binary(result["pixels"])
+        assert len(pixels) == 8 * 6 * 3
+
+    def test_assemble_animation_checks_order(self):
+        app = RaytraceApplication(width=8, height=6)
+        frames = []
+        for angle in (0.0, 60.0):
+            _err, result = run_process(app, {"angle": angle, "frame": angle})
+            frames.append(result)
+        summary = assemble_animation(frames)
+        assert summary["frames"] == 2
+        with pytest.raises(ValueError):
+            assemble_animation(list(reversed(frames)))
+
+    def test_generate_inputs_cover_rotation(self):
+        app = RaytraceApplication(frames=4)
+        angles = [value["angle"] for value in app.generate_inputs(4)]
+        assert angles == [0.0, 90.0, 180.0, 270.0]
+
+
+class TestImageProcessing:
+    def test_tile_synthesis_deterministic(self):
+        assert np.array_equal(synthesize_tile(7), synthesize_tile(7))
+        assert not np.array_equal(synthesize_tile(7), synthesize_tile(8))
+
+    def test_blur_reduces_variance(self):
+        tile = synthesize_tile(1)
+        blurred = box_blur(tile, radius=3)
+        assert blurred.shape == tile.shape
+        assert blurred.var() < tile.var()
+
+    def test_blur_radius_zero_is_identity(self):
+        tile = synthesize_tile(2)
+        assert np.array_equal(box_blur(tile, radius=0), tile)
+
+    def test_process_uploads_result(self):
+        store = ImageStore()
+        app = ImageProcessingApplication(store=store)
+        err, result = run_process(app, {"tile_id": 3})
+        assert err is None
+        assert store.has_result(3)
+        assert result["variance"] < synthesize_tile(3).var()
+
+    def test_input_size_matches_paper(self):
+        assert ImageProcessingApplication().input_size_bytes == 168_000
+
+
+class TestMLAgent:
+    def test_gridworld_goal(self):
+        world = GridWorld(3, 3)
+        state, reward, done = world.step((1, 2), "right")
+        assert state == (2, 2) and done and reward > 0
+
+    def test_gridworld_walls(self):
+        world = GridWorld(3, 3)
+        state, _r, _d = world.step((0, 0), "left")
+        assert state == (0, 0)
+
+    def test_agent_learns_with_good_rate(self):
+        agent = QLearningAgent(GridWorld(), learning_rate=0.5, seed=1)
+        outcome = agent.train(5_000)
+        assert outcome["learned"]
+        assert outcome["episodes"] > 0
+
+    def test_process_returns_metrics(self):
+        app = MLAgentApplication(steps_per_value=500)
+        err, result = run_process(app, {"learning_rate": 0.3, "steps": 500, "seed": 1})
+        assert err is None
+        assert result["steps"] == 500
+        assert "total_reward" in result
+
+    def test_postprocess_selects_best(self):
+        app = MLAgentApplication()
+        best = app.postprocess([
+            {"learning_rate": 0.1, "total_reward": 5.0},
+            {"learning_rate": 0.5, "total_reward": 50.0},
+        ])
+        assert best["learning_rate"] == 0.5
+
+
+class TestArxiv:
+    def test_tagger_matches_keywords(self):
+        tagger = SimulatedTagger("alice", interests=["volunteer computing"], seed=1)
+        result = tagger.tag(SAMPLE_PAPERS[0])
+        assert result["interesting"]
+        assert result["matched_keywords"]
+
+    def test_tagger_rejects_unrelated(self):
+        tagger = SimulatedTagger("bob", interests=["databases"], seed=2)
+        results = [tagger.tag(paper) for paper in SAMPLE_PAPERS]
+        assert any(not r["interesting"] for r in results)
+
+    def test_app_postprocess_builds_reading_list(self):
+        app = ArxivTaggingApplication()
+        results = []
+        for paper in app.generate_inputs(len(SAMPLE_PAPERS)):
+            _err, result = run_process(app, paper)
+            results.append(result)
+        reading_list = app.postprocess(results)
+        assert all(entry["interesting"] for entry in reading_list)
+
+
+class TestLenderTestApp:
+    def test_random_executions_pass(self):
+        for seed in range(30):
+            outcome = run_random_execution(seed)
+            assert outcome["ok"], f"seed {seed} failed: {outcome}"
+
+    def test_process_batches_executions(self):
+        app = LenderTestApplication(executions_per_value=5)
+        err, result = run_process(app, {"seed": 100, "count": 5})
+        assert err is None
+        assert result["ok"]
+        assert result["executions"] == 5
+
+
+class TestCommonApplicationContract:
+    @pytest.mark.parametrize("name", ["collatz", "crypto", "lender_test", "raytrace",
+                                      "imageproc", "ml_agent", "arxiv"])
+    def test_inputs_costs_and_simulated_results(self, name):
+        app = registry.create(name)
+        inputs = list(app.generate_inputs(3))
+        assert len(inputs) == 3
+        for value in inputs:
+            wrapped = app.wrap_input(value)
+            assert wrapped["size_bytes"] == app.input_size_bytes
+            assert app.cost(wrapped) > 0
+            simulated = app.simulate_result(wrapped)
+            assert simulated is not None
+
+    @pytest.mark.parametrize("name", ["collatz", "crypto", "lender_test", "ml_agent", "arxiv"])
+    def test_real_processing_verifies(self, name):
+        app = registry.create(name)
+        value = next(iter(app.generate_inputs(1)))
+        err, result = run_process(app, value)
+        assert err is None
+        assert app.verify_result(value, result)

@@ -1,0 +1,102 @@
+"""Tests for the command-line interface (Unix-pipeline usage, Figure 3)."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli.pando_cli import build_parser, main, run_pipeline
+from repro.cli.tools import generate_angles_main, gif_encoder_main
+from repro.master.bundler import bundle_function
+
+
+class TestParser:
+    def test_requires_module_or_app(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["--app", "collatz"])
+        assert args.batch_size == 2
+        assert args.workers == 2
+        assert not args.unordered
+
+
+class TestRunPipeline:
+    def test_local_pipeline(self, square_fn):
+        bundle = bundle_function(square_fn)
+        results = run_pipeline(bundle, [1, 2, 3], workers=2, batch_size=2)
+        assert results == [1, 4, 9]
+
+    def test_unordered_pipeline(self, square_fn):
+        bundle = bundle_function(square_fn)
+        results = run_pipeline(bundle, [3, 2, 1], workers=1, batch_size=1, ordered=False)
+        assert sorted(results) == [1, 4, 9]
+
+
+class TestMainWithBuiltinApps:
+    def test_collatz_app_generates_and_processes(self, capsys):
+        code = main(["--app", "collatz", "--count", "3", "--workers", "2"])
+        assert code == 0
+        captured = capsys.readouterr()
+        lines = [json.loads(line) for line in captured.out.strip().splitlines()]
+        assert len(lines) == 3
+        assert all("steps" in line for line in lines)
+        assert "Serving volunteer code" in captured.err
+
+    def test_arxiv_app(self, capsys):
+        assert main(["--app", "arxiv", "--count", "4"]) == 0
+        lines = [json.loads(l) for l in capsys.readouterr().out.strip().splitlines()]
+        assert len(lines) == 4
+        assert all("interesting" in line for line in lines)
+
+    def test_module_file(self, tmp_path, capsys):
+        module = tmp_path / "double.py"
+        module.write_text("def pando(value, cb):\n    cb(None, int(value) * 2)\n")
+        assert main([str(module), "4", "5"]) == 0
+        lines = [json.loads(l) for l in capsys.readouterr().out.strip().splitlines()]
+        assert lines == [8, 10]
+
+    def test_stdin_json_input(self, monkeypatch, capsys, tmp_path):
+        module = tmp_path / "incr.py"
+        module.write_text("def pando(value, cb):\n    cb(None, value + 1)\n")
+        monkeypatch.setattr("sys.stdin", io.StringIO("1\n2\n3\n"))
+        assert main([str(module), "--stdin", "--json"]) == 0
+        lines = [json.loads(l) for l in capsys.readouterr().out.strip().splitlines()]
+        assert lines == [2, 3, 4]
+
+    def test_simulated_lan_run(self, capsys):
+        assert main(["--app", "raytrace", "--simulate", "lan", "--count", "4"]) == 0
+        captured = capsys.readouterr()
+        lines = [json.loads(l) for l in captured.out.strip().splitlines()]
+        assert len(lines) == 4
+        assert "Simulating a LAN deployment" in captured.err
+
+
+class TestCompanionTools:
+    def test_generate_angles(self, capsys):
+        assert generate_angles_main(["--frames", "4"]) == 0
+        angles = [float(line) for line in capsys.readouterr().out.strip().splitlines()]
+        assert angles == [0.0, 90.0, 180.0, 270.0]
+
+    def test_generate_angles_json(self, capsys):
+        assert generate_angles_main(["--frames", "2", "--json"]) == 0
+        lines = [json.loads(l) for l in capsys.readouterr().out.strip().splitlines()]
+        assert lines[0] == {"angle": 0.0, "frame": 0}
+
+    def test_gif_encoder_roundtrip(self, monkeypatch, capsys, tmp_path):
+        """generate-angles | pando --app raytrace | gif-encoder, in process."""
+        from repro.apps.raytracer import RaytraceApplication
+
+        app = RaytraceApplication(width=8, height=6)
+        frames = []
+        for value in app.generate_inputs(3):
+            app.process(value, lambda err, result: frames.append(result))
+        stdin = io.StringIO("\n".join(json.dumps(frame) for frame in frames))
+        monkeypatch.setattr("sys.stdin", stdin)
+        output_path = tmp_path / "animation.json"
+        assert gif_encoder_main(["--output", str(output_path)]) == 0
+        summary = json.loads(output_path.read_text())
+        assert summary["frames"] == 3

@@ -1,0 +1,111 @@
+"""Tests for DistributedMap (the master-side composition)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DistributedMap
+from repro.pullstream import async_map, collect, count, duplex_pair, pull, take, values
+
+
+class TestLocalWorkers:
+    def test_single_worker(self, square_fn):
+        dmap = DistributedMap()
+        output = pull(values([1, 2, 3]), dmap, collect())
+        handle = dmap.add_local_worker(square_fn)
+        assert output.result() == [1, 4, 9]
+        assert handle.worker_id == "worker-1"
+
+    def test_worker_ids_are_unique(self, square_fn):
+        dmap = DistributedMap()
+        pull(values([]), dmap, collect())
+        first = dmap.add_local_worker(square_fn)
+        second = dmap.add_local_worker(square_fn)
+        assert first.worker_id != second.worker_id
+
+    def test_explicit_worker_id(self, square_fn):
+        dmap = DistributedMap()
+        pull(values([1]), dmap, collect())
+        handle = dmap.add_local_worker(square_fn, worker_id="my-laptop")
+        assert "my-laptop" in dmap.workers
+
+    def test_failing_function_is_treated_as_a_worker_failure(self):
+        """A worker whose function reports an error is closed like a crashed
+        worker: its value is re-lent and the stream waits for another worker
+        (the same containment Pando applies to crashing browser tabs)."""
+        dmap = DistributedMap()
+        output = pull(values([1, 2]), dmap, collect())
+        failing = dmap.add_local_worker(lambda v, cb: cb(RuntimeError("bad"), None))
+        assert failing.closed
+        assert not output.done
+        assert dmap.lender.relendable >= 1
+        # a healthy worker finishes the job
+        dmap.add_local_worker(lambda v, cb: cb(None, v))
+        assert output.result() == [1, 2]
+        assert dmap.stats.values_relent >= 1
+
+    def test_unordered_mode(self, square_fn):
+        dmap = DistributedMap(ordered=False)
+        output = pull(values([3, 1, 2]), dmap, collect())
+        dmap.add_local_worker(square_fn)
+        assert sorted(output.result()) == [1, 4, 9]
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DistributedMap(batch_size=0)
+
+
+class TestChannelWorkers:
+    def test_add_channel_with_loopback_worker(self):
+        dmap = DistributedMap(batch_size=2)
+        output = pull(values(list(range(10))), dmap, collect())
+        local_end, remote_end = duplex_pair()
+        # the remote side applies the function
+        pull(remote_end.source, async_map(lambda v, cb: cb(None, v + 100)), remote_end.sink)
+        handle = dmap.add_channel(local_end, worker_id="remote-1")
+        assert output.result() == [value + 100 for value in range(10)]
+        assert handle.limiter is not None
+        assert handle.limiter.max_in_flight <= 2
+
+    def test_mixed_channel_and_local_workers(self, square_fn):
+        dmap = DistributedMap(batch_size=1)
+        output = pull(values(list(range(8))), dmap, collect())
+        local_end, remote_end = duplex_pair()
+        pull(remote_end.source, async_map(lambda v, cb: cb(None, v * v)), remote_end.sink)
+        dmap.add_channel(local_end)
+        dmap.add_local_worker(square_fn)
+        assert output.result() == [value * value for value in range(8)]
+
+    def test_per_channel_batch_override(self):
+        dmap = DistributedMap(batch_size=1)
+        pull(count(4), dmap, collect())
+        local_end, remote_end = duplex_pair()
+        pull(remote_end.source, async_map(lambda v, cb: cb(None, v)), remote_end.sink)
+        handle = dmap.add_channel(local_end, batch_size=5)
+        assert handle.limiter.limit == 5
+
+
+class TestInspection:
+    def test_active_workers_and_stats(self, square_fn):
+        dmap = DistributedMap()
+        output = pull(values(list(range(5))), dmap, collect())
+        dmap.add_local_worker(square_fn)
+        output.result()
+        assert dmap.stats.values_read == 5
+        # after completion the sub-streams are closed gracefully
+        assert dmap.workers
+        assert all(handle.closed for handle in dmap.workers.values())
+        assert dmap.active_workers == []
+
+    def test_handle_in_flight(self, square_fn):
+        dmap = DistributedMap()
+        pull(values([1, 2, 3]), dmap, collect())
+        handle = dmap.add_local_worker(square_fn)
+        assert handle.in_flight == 0
+
+    def test_lazy_with_take(self, square_fn):
+        dmap = DistributedMap()
+        output = pull(count(1000), dmap, take(3), collect())
+        dmap.add_local_worker(square_fn)
+        assert output.result() == [1, 4, 9]
+        assert dmap.stats.values_read < 10

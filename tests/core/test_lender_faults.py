@@ -1,0 +1,123 @@
+"""Fault-tolerance tests for StreamLender (crash-stop sub-streams)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import StreamLender
+from repro.errors import WorkerCrashed
+from repro.pullstream import DONE, collect, pull, values
+
+
+def lend(lender):
+    box = []
+    lender.lend_stream(lambda err, sub: box.append(sub))
+    return box[0]
+
+
+class TestCrashRecovery:
+    def test_values_relent_after_crash(self, substream_driver):
+        lender = StreamLender()
+        output = pull(values(list(range(8))), lender, collect())
+        # The first worker borrows two values then crashes without answering.
+        crasher = substream_driver(lend(lender), crash_after=2, auto_deliver=False)
+        crasher.start()
+        assert crasher.crashed
+        # A healthy worker joins afterwards and completes everything,
+        # including the two values the crashed worker held.
+        healthy = substream_driver(lend(lender)).start()
+        assert output.result() == [value * 10 for value in range(8)]
+        assert lender.stats.values_relent == 2
+        assert lender.stats.substreams_failed == 1
+        assert set(healthy.borrowed) == set(range(8))
+
+    def test_crash_before_borrowing_anything(self, substream_driver):
+        lender = StreamLender()
+        output = pull(values([1, 2, 3]), lender, collect())
+        substream_driver(lend(lender), crash_after=0).start()
+        substream_driver(lend(lender)).start()
+        assert output.result() == [10, 20, 30]
+        assert lender.stats.values_relent == 0
+
+    def test_crash_of_all_substreams_then_new_one(self, substream_driver):
+        lender = StreamLender()
+        output = pull(values(list(range(5))), lender, collect())
+        substream_driver(lend(lender), crash_after=1, auto_deliver=False).start()
+        substream_driver(lend(lender), crash_after=2, auto_deliver=False).start()
+        assert not output.done
+        substream_driver(lend(lender)).start()
+        assert output.result() == [value * 10 for value in range(5)]
+
+    def test_liveness_once_an_active_substream_exists(self, substream_driver):
+        """Paper section 2.3: once a value has been read, if there are active
+        participating devices, its result is eventually provided."""
+        lender = StreamLender()
+        output = pull(values(list(range(20))), lender, collect())
+        for _ in range(4):
+            substream_driver(lend(lender), crash_after=2, auto_deliver=False).start()
+        survivor = substream_driver(lend(lender)).start()
+        assert output.result() == [value * 10 for value in range(20)]
+        assert survivor.borrowed  # the survivor did the re-lent work
+
+    def test_conservative_no_duplicate_results(self, substream_driver):
+        """A single copy of each value is outstanding at any time, so the
+        number of results delivered equals the number of inputs even with
+        crashes and re-lending."""
+        lender = StreamLender()
+        output = pull(values(list(range(12))), lender, collect())
+        substream_driver(lend(lender), crash_after=3, auto_deliver=False).start()
+        substream_driver(lend(lender), crash_after=4, auto_deliver=False).start()
+        substream_driver(lend(lender)).start()
+        results = output.result()
+        assert len(results) == 12
+        assert results == [value * 10 for value in range(12)]
+        assert lender.stats.results_delivered == 12
+
+    def test_ordering_preserved_across_crashes(self, substream_driver):
+        lender = StreamLender()
+        inputs = list(range(15))
+        output = pull(values(inputs), lender, collect())
+        substream_driver(lend(lender), crash_after=5, auto_deliver=False).start()
+        substream_driver(lend(lender)).start()
+        assert output.result() == [value * 10 for value in inputs]
+
+    def test_graceful_close_also_relends(self, substream_driver):
+        """A sub-stream whose channel closes normally (volunteer leaves)
+        behaves like a crash for the values it still held."""
+        lender = StreamLender()
+        output = pull(values(list(range(6))), lender, collect())
+        sub = lend(lender)
+        leaver = substream_driver(sub, auto_deliver=False).start()
+        # The volunteer leaves: the borrow stream is aborted by the channel.
+        sub.source(DONE, lambda _end, _value: None)
+        substream_driver(lend(lender)).start()
+        assert output.result() == [value * 10 for value in range(6)]
+
+    def test_failed_substream_counters(self, substream_driver):
+        lender = StreamLender()
+        pull(values(list(range(4))), lender, collect())
+        substream_driver(lend(lender), crash_after=1, auto_deliver=False).start()
+        assert lender.stats.substreams_failed == 1
+        assert lender.relendable == 1
+        assert lender.outstanding == 0
+
+    def test_result_without_borrow_is_a_protocol_failure(self):
+        """A worker that produces more results than it borrowed is closed."""
+        lender = StreamLender()
+        pull(values([1, 2, 3]), lender, collect())
+        sub = lend(lender)
+        # Deliver a result without ever borrowing a value.
+        sub.sink(values(["spurious"]))
+        assert sub.closed
+        assert lender.stats.substreams_failed == 1
+
+
+class TestCrashTiming:
+    @pytest.mark.parametrize("crash_after", [0, 1, 2, 3, 5, 7])
+    def test_crash_at_every_point_still_completes(self, substream_driver, crash_after):
+        lender = StreamLender()
+        inputs = list(range(8))
+        output = pull(values(inputs), lender, collect())
+        substream_driver(lend(lender), crash_after=crash_after, auto_deliver=False).start()
+        substream_driver(lend(lender)).start()
+        assert output.result() == [value * 10 for value in inputs]

@@ -1,0 +1,184 @@
+"""Property-based tests of StreamLender invariants (hypothesis).
+
+These reproduce, inside the test suite, the paper's "StreamLender test"
+application: randomised executions with random numbers of sub-streams,
+interleavings and crash points, checking the Table-1 properties hold on every
+one of them.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ReorderBuffer, StreamLender, UnorderedStreamLender
+from repro.pullstream import DONE, collect, pull, values
+
+
+def run_schedule(n_values, workers, ordered, seed):
+    """Run a randomised interleaving described by the worker specs.
+
+    ``workers`` is a list of ``(max_steps_before_crash or None)``; the
+    schedule interleaves borrow/deliver steps of all workers in a
+    deterministic pseudo-random order derived from *seed*.  Returns the
+    collected output (or None when the run legitimately cannot finish because
+    every worker crashed).
+    """
+    rng = random.Random(seed)
+    inputs = list(range(n_values))
+    lender = StreamLender() if ordered else UnorderedStreamLender()
+    output = pull(values(inputs), lender, collect())
+
+    subs = []
+    for _ in workers:
+        lender.lend_stream(lambda err, sub: subs.append(sub))
+
+    class W:
+        def __init__(self, sub, crash_at):
+            self.sub = sub
+            self.crash_at = crash_at
+            self.queue = deque()
+            self.result_cb = None
+            self.processed = 0
+            self.crashed = False
+            self.done = False
+            #: a borrow ask is parked inside the lender awaiting an answer
+            self.waiting = False
+            sub.sink(self.result_source)
+
+        def result_source(self, end, cb):
+            if end is not None:
+                cb(end, None)
+                return
+            if self.crashed:
+                cb(RuntimeError("crash"), None)
+                return
+            if self.queue:
+                cb(None, self.queue.popleft())
+                return
+            if self.done:
+                cb(DONE, None)
+                return
+            self.result_cb = cb
+
+        def borrow(self):
+            if self.crashed or self.done or self.waiting:
+                return
+            if self.crash_at is not None and self.processed >= self.crash_at:
+                self.crash()
+                return
+            self.waiting = True
+
+            def answer(end, value):
+                self.waiting = False
+                if end is not None:
+                    self.done = True
+                    self.flush_end()
+                    return
+                if self.crashed:
+                    return
+                self.processed += 1
+                self.queue.append(value * 2)
+
+            self.sub.source(None, answer)
+
+        def deliver(self):
+            if self.crashed:
+                return
+            if self.result_cb is not None and self.queue:
+                cb, self.result_cb = self.result_cb, None
+                cb(None, self.queue.popleft())
+            elif self.result_cb is not None and self.done:
+                cb, self.result_cb = self.result_cb, None
+                cb(DONE, None)
+
+        def flush_end(self):
+            if self.result_cb is not None and not self.queue:
+                cb, self.result_cb = self.result_cb, None
+                cb(DONE, None)
+
+        def crash(self):
+            self.crashed = True
+            if self.result_cb is not None:
+                cb, self.result_cb = self.result_cb, None
+                cb(RuntimeError("crash"), None)
+            else:
+                # Abort the borrow stream so the lender learns about it.
+                self.sub.source(RuntimeError("crash"), lambda _e, _v: None)
+
+    worker_objs = [W(sub, crash_at) for sub, crash_at in zip(subs, workers)]
+
+    for _ in range(20 * (n_values + 1) * (len(workers) + 1)):
+        if output.done:
+            break
+        alive = [w for w in worker_objs if not w.crashed]
+        if not alive:
+            break
+        worker = rng.choice(alive)
+        if rng.random() < 0.5:
+            worker.borrow()
+        else:
+            worker.deliver()
+        if rng.random() < 0.2:
+            for w in alive:
+                w.deliver()
+
+    # Final mop-up by every surviving worker so the run can terminate.
+    for _ in range(5 * (n_values + 1)):
+        if output.done:
+            break
+        for w in worker_objs:
+            if not w.crashed:
+                w.borrow()
+                w.deliver()
+    survivors = [w for w in worker_objs if not w.crashed]
+    return output, inputs, survivors
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n_values=st.integers(min_value=0, max_value=25),
+    crash_points=st.lists(
+        st.one_of(st.none(), st.integers(min_value=0, max_value=10)),
+        min_size=1,
+        max_size=4,
+    ),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_ordered_lender_delivers_everything_exactly_once(n_values, crash_points, seed):
+    # Ensure at least one worker survives so liveness is achievable.
+    workers = list(crash_points) + [None]
+    output, inputs, survivors = run_schedule(n_values, workers, ordered=True, seed=seed)
+    assert survivors, "at least one worker must survive by construction"
+    assert output.done, "the stream must terminate when a worker survives"
+    assert output.result() == [value * 2 for value in inputs]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_values=st.integers(min_value=0, max_value=25),
+    crash_points=st.lists(
+        st.one_of(st.none(), st.integers(min_value=0, max_value=10)),
+        min_size=1,
+        max_size=4,
+    ),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_unordered_lender_delivers_same_multiset(n_values, crash_points, seed):
+    workers = list(crash_points) + [None]
+    output, inputs, survivors = run_schedule(n_values, workers, ordered=False, seed=seed)
+    assert output.done
+    assert sorted(output.result()) == sorted(value * 2 for value in inputs)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.permutations(list(range(12))))
+def test_reorder_buffer_releases_any_permutation_in_order(permutation):
+    buffer = ReorderBuffer()
+    released = []
+    for index in permutation:
+        buffer.put(index, f"v{index}")
+        released.extend(buffer.drain_ready())
+    assert released == [f"v{i}" for i in range(12)]

@@ -1,0 +1,117 @@
+"""Tests for the Limiter module (in-flight window / batching)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Limiter, limit
+from repro.pullstream import (
+    DONE,
+    async_map,
+    collect,
+    count,
+    drain,
+    duplex_pair,
+    pull,
+    pushable,
+    values,
+)
+from repro.pullstream.duplex import Duplex
+
+
+def make_manual_channel():
+    """A duplex whose sink eagerly buffers values and whose source releases
+    results only when told to — models a network channel with the worker on
+    the other side under the test's control."""
+    received = []
+    results = pushable()
+
+    def sink(read):
+        def ask():
+            read(None, answer)
+
+        def answer(end, value):
+            if end is not None:
+                return
+            received.append(value)
+            ask()
+
+        ask()
+
+    sink.pull_role = "sink"
+    return Duplex(source=results, sink=sink), received, results
+
+
+class TestLimiterWindow:
+    def test_initial_window_is_respected(self):
+        channel, received, _results = make_manual_channel()
+        limiter = Limiter(channel, limit=2)
+        pull(values(list(range(10))), limiter, drain())
+        # Only `limit` values were forwarded even though the channel is eager.
+        assert received == [0, 1]
+        assert limiter.in_flight == 2
+
+    def test_window_of_one(self):
+        channel, received, _results = make_manual_channel()
+        limiter = Limiter(channel, limit=1)
+        pull(values([1, 2, 3]), limiter, drain())
+        assert received == [1]
+
+    def test_result_admits_next_value(self):
+        channel, received, results = make_manual_channel()
+        limiter = Limiter(channel, limit=2)
+        output = pull(values(list(range(6))), limiter, collect())
+        assert received == [0, 1]
+        results.push("r0")
+        assert received == [0, 1, 2]
+        results.push("r1")
+        results.push("r2")
+        assert received == [0, 1, 2, 3, 4]
+        for index in range(3, 6):
+            results.push(f"r{index}")
+        results.end()
+        assert output.result() == [f"r{i}" for i in range(6)]
+
+    def test_max_in_flight_statistic(self):
+        channel, _received, results = make_manual_channel()
+        limiter = Limiter(channel, limit=3)
+        pull(values(list(range(10))), limiter, drain())
+        assert limiter.max_in_flight == 3
+
+    def test_invalid_window(self):
+        channel, _received, _results = make_manual_channel()
+        with pytest.raises(ValueError):
+            Limiter(channel, limit=0)
+
+    def test_limit_function_constructor(self):
+        channel, _received, _results = make_manual_channel()
+        assert isinstance(limit(channel, 4), Limiter)
+        assert limit(channel := make_manual_channel()[0], 4).limit == 4
+
+
+class TestLimiterEndToEnd:
+    def test_through_a_loopback_worker(self):
+        """Full composition of Figure 9: sub-stream -> limiter -> channel."""
+        a, b = duplex_pair()
+        # The "worker" on the far side of the channel applies f.
+        pull(b.source, async_map(lambda v, cb: cb(None, v + 1)), b.sink)
+        limiter = Limiter(a, limit=2)
+        output = pull(values(list(range(20))), limiter, collect())
+        assert output.result() == [value + 1 for value in range(20)]
+
+    def test_in_flight_returns_to_zero(self):
+        a, b = duplex_pair()
+        pull(b.source, async_map(lambda v, cb: cb(None, v)), b.sink)
+        limiter = Limiter(a, limit=4)
+        pull(values(list(range(9))), limiter, drain())
+        assert limiter.in_flight == 0
+
+    def test_with_distributed_map_batching(self):
+        """Larger Limiter windows do not change results, only overlap."""
+        from repro.core import DistributedMap
+
+        for batch_size in (1, 2, 8):
+            dmap = DistributedMap(batch_size=batch_size)
+            output = pull(values(list(range(12))), dmap, collect())
+            dmap.add_local_worker(lambda v, cb: cb(None, v * 3))
+            assert output.result() == [value * 3 for value in range(12)]

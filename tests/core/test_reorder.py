@@ -1,0 +1,65 @@
+"""Tests for the reordering buffer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ReorderBuffer
+
+
+class TestReorderBuffer:
+    def test_in_order_insertion(self):
+        buffer = ReorderBuffer()
+        buffer.put(0, "a")
+        buffer.put(1, "b")
+        assert list(buffer.drain_ready()) == ["a", "b"]
+
+    def test_out_of_order_insertion(self):
+        buffer = ReorderBuffer()
+        buffer.put(2, "c")
+        buffer.put(0, "a")
+        assert buffer.has_ready()
+        assert buffer.pop_ready() == "a"
+        assert not buffer.has_ready()  # waiting for index 1
+        buffer.put(1, "b")
+        assert list(buffer.drain_ready()) == ["b", "c"]
+
+    def test_duplicate_index_rejected(self):
+        buffer = ReorderBuffer()
+        buffer.put(0, "a")
+        with pytest.raises(ValueError):
+            buffer.put(0, "again")
+
+    def test_already_delivered_index_rejected(self):
+        buffer = ReorderBuffer()
+        buffer.put(0, "a")
+        buffer.pop_ready()
+        with pytest.raises(ValueError):
+            buffer.put(0, "late duplicate")
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            ReorderBuffer().put(-1, "x")
+
+    def test_pop_unready_raises(self):
+        buffer = ReorderBuffer()
+        buffer.put(5, "later")
+        with pytest.raises(KeyError):
+            buffer.pop_ready()
+
+    def test_counters(self):
+        buffer = ReorderBuffer()
+        buffer.put(1, "b")
+        buffer.put(0, "a")
+        assert buffer.buffered == 2
+        assert buffer.delivered == 0
+        list(buffer.drain_ready())
+        assert buffer.delivered == 2
+        assert buffer.buffered == 0
+        assert buffer.next_index == 2
+
+    def test_len(self):
+        buffer = ReorderBuffer()
+        assert len(buffer) == 0
+        buffer.put(3, "x")
+        assert len(buffer) == 1

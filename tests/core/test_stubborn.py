@@ -1,0 +1,110 @@
+"""Tests for the stubborn retry module (failure-prone external transfers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import stubborn
+from repro.core.stubborn import StubbornStats
+from repro.errors import ExternalTransferError
+from repro.pullstream import collect, pull, values
+
+
+class TestStubbornProcessing:
+    def test_passes_through_on_success(self):
+        module = stubborn(lambda v, cb: cb(None, v * 2))
+        assert pull(values([1, 2, 3]), module, collect()).result() == [2, 4, 6]
+
+    def test_retries_processing_failures(self):
+        attempts = {"n": 0}
+
+        def flaky(value, cb):
+            attempts["n"] += 1
+            if attempts["n"] % 2 == 1:
+                cb(RuntimeError("transient"), None)
+            else:
+                cb(None, value)
+
+        stats = StubbornStats()
+        module = stubborn(flaky, stats=stats)
+        assert pull(values([10, 20]), module, collect()).result() == [10, 20]
+        assert stats.retries == 2
+        assert stats.processing_failures == 2
+
+    def test_retries_verification_failures(self):
+        verified = {"n": 0}
+
+        def verify(value, result, cb):
+            verified["n"] += 1
+            if verified["n"] == 1:
+                cb(None, False)      # download not complete yet
+            else:
+                cb(None, True)
+
+        stats = StubbornStats()
+        module = stubborn(lambda v, cb: cb(None, v), verify=verify, stats=stats)
+        assert pull(values([5]), module, collect()).result() == [5]
+        assert stats.verification_failures == 1
+        assert stats.retries == 1
+
+    def test_gives_up_after_max_retries(self):
+        module = stubborn(lambda v, cb: cb(RuntimeError("always"), None), max_retries=3)
+        result = pull(values([1]), module, collect())
+        assert isinstance(result.end, ExternalTransferError)
+
+    def test_unlimited_retries_eventually_succeed(self):
+        countdown = {"left": 25}
+
+        def eventually(value, cb):
+            if countdown["left"] > 0:
+                countdown["left"] -= 1
+                cb(RuntimeError("not yet"), None)
+            else:
+                cb(None, "done")
+
+        assert pull(values([0]), stubborn(eventually), collect()).result() == ["done"]
+
+    def test_exception_in_process_is_treated_as_failure(self):
+        calls = {"n": 0}
+
+        def raising(value, cb):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("bug in processing function")
+            cb(None, value)
+
+        assert pull(values([7]), stubborn(raising), collect()).result() == [7]
+
+    def test_exception_in_verify_is_treated_as_failure(self):
+        calls = {"n": 0}
+
+        def verify(value, result, cb):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("verifier bug")
+            cb(None, True)
+
+        module = stubborn(lambda v, cb: cb(None, v), verify=verify)
+        assert pull(values([3]), module, collect()).result() == [3]
+
+    def test_stats_exposed_on_module(self):
+        module = stubborn(lambda v, cb: cb(None, v))
+        pull(values([1, 2]), module, collect())
+        assert module.stats.attempts == 2
+        assert module.stats.as_dict()["retries"] == 0
+
+    def test_with_flaky_p2p_store(self):
+        """End-to-end with the image-processing flaky store (paper 4.3)."""
+        from repro.apps.imageproc import FlakyP2PStore, ImageProcessingApplication
+
+        store = FlakyP2PStore(failure_rate=0.5, seed=3)
+        app = ImageProcessingApplication(store=store)
+        module = stubborn(
+            app.process,
+            verify=lambda value, result, cb: store.verify(value["tile_id"], result, cb),
+        )
+        inputs = list(app.generate_inputs(10))
+        results = pull(values(inputs), module, collect()).result()
+        assert len(results) == 10
+        assert all(store.has_result(value["tile_id"]) for value in inputs)
+        assert store.lost_uploads > 0  # failures actually happened and were retried

@@ -1,0 +1,86 @@
+"""Smoke tests for the example scripts and the full CLI pipeline.
+
+The examples are part of the public deliverable; these tests execute them as
+scripts (with small parameters) so they cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+def run_example(name, *args, timeout=300):
+    """Run an example script in a subprocess and return its stdout."""
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        stdout = run_example("quickstart.py")
+        assert "outputs:" in stdout
+
+    def test_render_animation_small(self):
+        stdout = run_example("render_animation.py", "--frames", "4", "--size", "8x6")
+        assert "rendered 4 frames" in stdout
+
+    def test_crypto_mining_small(self):
+        stdout = run_example(
+            "crypto_mining.py", "--blocks", "1", "--difficulty", "8", "--range-size", "500"
+        )
+        assert "mined 1 blocks" in stdout
+
+    def test_hyperparameter_search_small(self):
+        stdout = run_example("hyperparameter_search.py", "--steps", "300")
+        assert "best learning rate" in stdout
+
+    def test_stubborn_image_processing_small(self):
+        stdout = run_example(
+            "stubborn_image_processing.py", "--tiles", "6", "--failure-rate", "0.3"
+        )
+        assert "blurred 6 tiles" in stdout
+
+
+class TestUnixPipeline:
+    """The full Figure-3 pipeline via the console-script entry points."""
+
+    def test_generate_render_encode(self):
+        env = dict(os.environ)
+        angles = subprocess.run(
+            [sys.executable, "-c",
+             "from repro.cli.tools import generate_angles_main; "
+             "raise SystemExit(generate_angles_main(['--frames', '3', '--json']))"],
+            capture_output=True, text=True, env=env,
+        )
+        assert angles.returncode == 0
+        rendered = subprocess.run(
+            [sys.executable, "-c",
+             "from repro.cli.pando_cli import main; "
+             "raise SystemExit(main(['--app', 'raytrace', '--stdin', '--json', '--workers', '2']))"],
+            input=angles.stdout, capture_output=True, text=True, env=env,
+        )
+        assert rendered.returncode == 0, rendered.stderr
+        assert "Serving volunteer code" in rendered.stderr
+        encoded = subprocess.run(
+            [sys.executable, "-c",
+             "from repro.cli.tools import gif_encoder_main; "
+             "raise SystemExit(gif_encoder_main([]))"],
+            input=rendered.stdout, capture_output=True, text=True, env=env,
+        )
+        assert encoded.returncode == 0, encoded.stderr
+        summary = json.loads(encoded.stdout.strip().splitlines()[-1])
+        assert summary["frames"] == 3
+        assert summary["angles"] == sorted(summary["angles"])

@@ -1,0 +1,134 @@
+"""Integration tests for the Figure-4 deployment example, the end-to-end
+application pipelines (Figure 10) and the crypto feedback loop (Figure 11)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DistributedMap, bundle_function, collect, drain, from_iterable, pull, values
+from repro.apps import (
+    CollatzApplication,
+    CryptoMiningApplication,
+    ImageProcessingApplication,
+    ImageStore,
+    MLAgentApplication,
+    MiningMonitor,
+    RaytraceApplication,
+    assemble_animation,
+)
+from repro.devices import LAN_DEVICES
+from repro.sim.failures import FailureSchedule
+from repro.sim.scenario import DeploymentScenario, ScenarioConfig
+
+
+class TestFigure4Scenario:
+    """The deployment example of paper Figure 4: a tablet joins, renders,
+    a faster phone joins, the tablet crashes, the phone takes over."""
+
+    def _run(self):
+        app = RaytraceApplication()
+        tablet, phone = "novena", "iphone-se"
+        config = ScenarioConfig(
+            application=app,
+            setting="lan",
+            devices=[d for d in LAN_DEVICES if d.name in (tablet, phone)],
+            tabs={tablet: 1, phone: 1},
+            join_times={tablet: 0.0, phone: 2.0},
+            failure_schedule=FailureSchedule().crash(4.0, tablet),
+            heartbeat_interval=0.5,
+            heartbeat_timeout=1.5,
+        )
+        scenario = DeploymentScenario(config)
+        outcome = scenario.run_to_completion(app.generate_inputs(6))
+        return scenario, outcome
+
+    def test_all_frames_rendered_despite_crash(self):
+        _scenario, outcome = self._run()
+        assert len(outcome.outputs) == 6
+        angles = [result["angle"] for result in outcome.outputs]
+        assert angles == sorted(angles)
+
+    def test_crash_detected_and_logged(self):
+        scenario, outcome = self._run()
+        assert outcome.registry["crashes"] == 1
+        assert any("lost" in line for line in outcome.log)
+
+    def test_phone_takes_over_tablet_work(self):
+        scenario, outcome = self._run()
+        items = {
+            worker: metrics.items_processed
+            for worker, metrics in scenario.metrics.workers.items()
+        }
+        phone_items = sum(v for k, v in items.items() if k.startswith("iphone"))
+        assert phone_items >= 4  # the phone did most of the work after the crash
+
+
+class TestPipelineApplications:
+    """Figure 10: each application runs end-to-end through the public API."""
+
+    def test_collatz_pipeline_with_max_postprocessing(self):
+        app = CollatzApplication(offset=0, batch=20)
+        dmap = DistributedMap(batch_size=2)
+        output = pull(values(list(app.generate_inputs(5))), dmap, collect())
+        for _ in range(2):
+            dmap.add_local_worker(bundle_function(app.process).apply)
+        best = app.postprocess(output.result())
+        assert best["steps"] > 0
+
+    def test_raytrace_pipeline_produces_ordered_animation(self):
+        app = RaytraceApplication(frames=6, width=8, height=6)
+        dmap = DistributedMap(batch_size=2)
+        output = pull(values(list(app.generate_inputs(6))), dmap, collect())
+        for _ in range(3):
+            dmap.add_local_worker(app.process)
+        animation = assemble_animation(output.result())
+        assert animation["frames"] == 6
+
+    def test_image_processing_pipeline_uploads_results(self):
+        store = ImageStore()
+        app = ImageProcessingApplication(store=store)
+        dmap = DistributedMap()
+        output = pull(values(list(app.generate_inputs(8))), dmap, collect())
+        dmap.add_local_worker(app.process)
+        assert len(output.result()) == 8
+        assert store.uploads == 8
+
+    def test_ml_agent_pipeline_selects_learning_rate(self):
+        app = MLAgentApplication(steps_per_value=300)
+        dmap = DistributedMap()
+        output = pull(values(list(app.generate_inputs(4))), dmap, collect())
+        dmap.add_local_worker(app.process)
+        best = app.postprocess(output.result())
+        assert "learning_rate" in best
+
+
+class TestSynchronousParallelSearch:
+    """Figure 11: the mining monitor's feedback loop over Pando."""
+
+    def test_chain_is_mined_through_the_feedback_loop(self):
+        app = CryptoMiningApplication(difficulty_bits=8, range_size=300)
+        monitor = MiningMonitor(app, target_height=2)
+        dmap = DistributedMap(ordered=False, batch_size=1)
+        output = pull(
+            from_iterable(monitor.attempts()),
+            dmap,
+            drain(op=monitor.record_result),
+        )
+        for _ in range(3):
+            dmap.add_local_worker(app.process)
+        assert output.done
+        assert monitor.done
+        assert len(monitor.chain) == 2
+        # each block builds on the previous nonce
+        assert monitor.chain[0]["height"] == 0
+        assert monitor.chain[1]["height"] == 1
+
+    def test_lazy_generation_stops_after_target(self):
+        app = CryptoMiningApplication(difficulty_bits=6, range_size=300)
+        monitor = MiningMonitor(app, target_height=1)
+        dmap = DistributedMap(ordered=False)
+        pull(from_iterable(monitor.attempts()), dmap, drain(op=monitor.record_result))
+        dmap.add_local_worker(app.process)
+        assert monitor.done
+        # only a bounded number of attempts was generated (laziness)
+        assert dmap.stats.values_read < 100

@@ -1,0 +1,158 @@
+"""Tests for simulated channels, heartbeats and failure detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConnectionClosed
+from repro.net.channel import SimChannel
+from repro.net.heartbeat import HeartbeatMonitor
+from repro.net.websocket import WebSocketConnection
+from repro.pullstream import async_map, collect, pull, values
+
+
+def connect(channel):
+    done = []
+    channel.connect(lambda err, ch: done.append(err))
+    channel.scheduler.run(until=lambda: bool(done))
+    assert done and done[0] is None
+    return channel
+
+
+class TestHeartbeatMonitor:
+    def test_sends_heartbeats_periodically(self, scheduler):
+        beats = []
+        monitor = HeartbeatMonitor(
+            scheduler, send=lambda: beats.append(scheduler.now),
+            on_failure=lambda: None, interval=1.0, timeout=10.0,
+        )
+        monitor.start()
+        scheduler.run_until(5.5)
+        assert len(beats) == 5
+
+    def test_detects_silence(self, scheduler):
+        failures = []
+        monitor = HeartbeatMonitor(
+            scheduler, send=lambda: None, on_failure=lambda: failures.append(scheduler.now),
+            interval=1.0, timeout=3.0,
+        )
+        monitor.start()
+        scheduler.run_until(10.0)
+        assert len(failures) == 1
+        assert failures[0] == pytest.approx(3.0, abs=0.2)
+        assert monitor.failed
+
+    def test_touch_postpones_failure(self, scheduler):
+        failures = []
+        monitor = HeartbeatMonitor(
+            scheduler, send=lambda: None, on_failure=lambda: failures.append(scheduler.now),
+            interval=1.0, timeout=3.0,
+        )
+        monitor.start()
+        scheduler.call_later(2.0, monitor.touch)
+        scheduler.call_later(4.0, monitor.touch)
+        scheduler.run_until(6.5)
+        assert failures == []
+        scheduler.run_until(10.0)
+        assert len(failures) == 1
+
+    def test_stop_cancels_everything(self, scheduler):
+        failures = []
+        monitor = HeartbeatMonitor(
+            scheduler, send=lambda: None, on_failure=lambda: failures.append(1),
+            interval=1.0, timeout=2.0,
+        )
+        monitor.start()
+        monitor.stop()
+        scheduler.run_until(20.0)
+        assert failures == []
+
+    def test_invalid_parameters(self, scheduler):
+        with pytest.raises(ValueError):
+            HeartbeatMonitor(scheduler, send=lambda: None, on_failure=lambda: None, interval=0)
+
+
+class TestSimChannel:
+    def test_data_flows_both_ways(self, scheduler, network):
+        channel = connect(SimChannel(scheduler, network, "master", "laptop"))
+        at_remote = pull(channel.remote.duplex.source, collect())
+        at_local = pull(channel.local.duplex.source, collect())
+        channel.local.send("hello")
+        channel.remote.send("world")
+        scheduler.run_until(scheduler.now + 1.0)
+        channel.local.close()
+        scheduler.run_until(scheduler.now + 1.0)
+        assert at_remote.value == ["hello"]
+        assert at_local.value == ["world"]
+
+    def test_latency_is_charged(self, scheduler, network):
+        channel = connect(SimChannel(scheduler, network, "master", "laptop"))
+        arrivals = []
+        pull(channel.remote.duplex.source, collect(done=lambda e, items: None))
+        channel.remote.duplex  # endpoint exists
+        sent_at = scheduler.now
+        received = pull(channel.remote.duplex.source, collect())
+        channel.local.send("ping")
+        scheduler.run(until=lambda: channel.remote.messages_received > 0)
+        assert scheduler.now - sent_at >= network.profile("master", "laptop").latency
+
+    def test_pull_stream_sink_sends_values(self, scheduler, network):
+        channel = connect(SimChannel(scheduler, network, "master", "laptop"))
+        received = pull(channel.remote.duplex.source, collect())
+        channel.local.duplex.sink(values([1, 2, 3]))
+        scheduler.run(until=lambda: received.done)
+        assert received.value == [1, 2, 3]
+
+    def test_echo_worker_over_channel(self, scheduler, network):
+        """Full round trip: values -> channel -> async_map worker -> back."""
+        channel = connect(SimChannel(scheduler, network, "master", "worker-host"))
+        pull(
+            channel.remote.duplex.source,
+            async_map(lambda v, cb: cb(None, v * 2)),
+            channel.remote.duplex.sink,
+        )
+        results = pull(channel.local.duplex.source, collect())
+        channel.local.duplex.sink(values([1, 2, 3, 4]))
+        scheduler.run(until=lambda: results.done)
+        assert results.value == [2, 4, 6, 8]
+
+    def test_graceful_close_ends_peer_source(self, scheduler, network):
+        channel = connect(SimChannel(scheduler, network, "a", "b"))
+        at_remote = pull(channel.remote.duplex.source, collect())
+        channel.local.close()
+        scheduler.run_until(scheduler.now + 1.0)
+        assert at_remote.done
+        assert at_remote.end is not None and not isinstance(at_remote.end, Exception)
+
+    def test_crash_detected_by_heartbeat_timeout(self, scheduler, network):
+        channel = connect(
+            SimChannel(scheduler, network, "master", "tablet",
+                       heartbeat_interval=0.5, heartbeat_timeout=1.5)
+        )
+        at_master = pull(channel.local.duplex.source, collect())
+        crash_time = scheduler.now + 1.0
+        scheduler.call_at(crash_time, channel.remote.crash)
+        scheduler.run(until=lambda: at_master.done)
+        assert isinstance(at_master.end, ConnectionClosed)
+        # detection happened within roughly the heartbeat timeout
+        assert scheduler.now - crash_time <= 2 * 1.5 + 0.5
+
+    def test_messages_lost_after_crash(self, scheduler, network):
+        channel = connect(SimChannel(scheduler, network, "a", "b"))
+        channel.remote.crash()
+        channel.local.send("into the void")
+        scheduler.run_until(scheduler.now + 1.0)
+        assert channel.remote.messages_received == 0
+
+    def test_byte_counters(self, scheduler, network):
+        channel = connect(SimChannel(scheduler, network, "a", "b"))
+        channel.local.send({"size_bytes": 1000})
+        scheduler.run_until(scheduler.now + 1.0)
+        assert channel.local.bytes_sent >= 1000
+        assert network.total_bytes() >= 1000
+
+    def test_websocket_setup_cost(self, scheduler, network):
+        start = scheduler.now
+        connect(WebSocketConnection(scheduler, network, "a", "b"))
+        rtt = network.profile("a", "b").rtt
+        assert scheduler.now - start >= 2 * rtt * 0.99

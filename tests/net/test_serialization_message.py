@@ -1,0 +1,98 @@
+"""Tests for serialization helpers and wire messages."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.message import CLOSE, CONTROL, DATA, HEARTBEAT, Message
+from repro.net.serialization import (
+    SizedPayload,
+    decode_binary,
+    decode_json,
+    encode_binary,
+    encode_json,
+    estimate_size,
+)
+
+
+class TestJsonEncoding:
+    def test_roundtrip(self):
+        value = {"a": 1, "b": [1, 2, 3], "c": "text"}
+        assert decode_json(encode_json(value)) == value
+
+    def test_compact_output(self):
+        assert " " not in encode_json({"a": 1, "b": 2})
+
+    def test_non_serialisable_fallback(self):
+        class Weird:
+            pass
+
+        encoded = encode_json({"x": Weird()})
+        assert "Weird" in encoded
+
+
+class TestBinaryEncoding:
+    def test_roundtrip(self):
+        payload = bytes(range(256)) * 10
+        assert decode_binary(encode_binary(payload)) == payload
+
+    def test_compresses_repetitive_data(self):
+        payload = b"a" * 100_000
+        assert len(encode_binary(payload)) < len(payload) / 10
+
+    @given(st.binary(max_size=4096))
+    def test_roundtrip_property(self, payload):
+        assert decode_binary(encode_binary(payload)) == payload
+
+
+class TestEstimateSize:
+    def test_sized_payload(self):
+        assert estimate_size(SizedPayload("x", 168_000)) == 168_000
+
+    def test_dict_with_size_bytes(self):
+        assert estimate_size({"size_bytes": 5000, "other": "data"}) == 5000
+
+    def test_bytes(self):
+        assert estimate_size(b"12345") == 5
+
+    def test_json_fallback(self):
+        assert estimate_size({"a": 1}) == len('{"a":1}')
+
+    def test_object_with_attribute(self):
+        class Blob:
+            size_bytes = 777
+
+        assert estimate_size(Blob()) == 777
+
+    def test_sized_payload_equality(self):
+        assert SizedPayload("a", 10) == SizedPayload("a", 10)
+        assert SizedPayload("a", 10) != SizedPayload("a", 11)
+
+
+class TestMessage:
+    def test_data_message_size(self):
+        message = Message.data({"size_bytes": 1000}, sender="master")
+        assert message.kind == DATA
+        assert message.size_bytes == 1000
+        assert message.sender == "master"
+
+    def test_data_message_minimum_size(self):
+        assert Message.data(1).size_bytes >= 16
+
+    def test_heartbeat_is_small(self):
+        assert Message.heartbeat().size_bytes <= 16
+        assert Message.heartbeat().kind == HEARTBEAT
+
+    def test_close_carries_reason(self):
+        message = Message.close(reason="done")
+        assert message.kind == CLOSE
+        assert message.payload == "done"
+
+    def test_control(self):
+        assert Message.control({"type": "offer"}).kind == CONTROL
+
+    def test_sequence_numbers_increase(self):
+        first = Message.data(1)
+        second = Message.data(2)
+        assert second.seq > first.seq

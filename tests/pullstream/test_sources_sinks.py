@@ -1,0 +1,150 @@
+"""Tests for the standard pull-stream sources and sinks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PandoError
+from repro.pullstream import (
+    DONE,
+    collect,
+    collect_sync,
+    count,
+    drain,
+    drain_sync,
+    empty,
+    error,
+    find,
+    from_iterable,
+    infinite,
+    keys,
+    on_end,
+    once,
+    pull,
+    reduce,
+    take,
+    values,
+)
+
+
+class TestSources:
+    def test_count_produces_one_to_n(self):
+        assert collect_sync(count(5)) == [1, 2, 3, 4, 5]
+
+    def test_count_zero_is_empty(self):
+        assert collect_sync(count(0)) == []
+
+    def test_values(self):
+        assert collect_sync(values(["a", "b", "c"])) == ["a", "b", "c"]
+
+    def test_values_empty(self):
+        assert collect_sync(values([])) == []
+
+    def test_once(self):
+        assert collect_sync(once(42)) == [42]
+
+    def test_keys(self):
+        assert collect_sync(keys({"x": 1, "y": 2})) == ["x", "y"]
+
+    def test_empty(self):
+        assert collect_sync(empty()) == []
+
+    def test_error_source_propagates(self):
+        boom = ValueError("boom")
+        result = pull(error(boom), collect())
+        assert result.done
+        assert result.end is boom
+        with pytest.raises(ValueError):
+            result.result()
+
+    def test_from_iterable_is_lazy(self):
+        pulled = []
+
+        def generator():
+            for index in range(100):
+                pulled.append(index)
+                yield index
+
+        source = from_iterable(generator())
+        result = pull(source, take(3), collect())
+        assert result.result() == [0, 1, 2]
+        # only the values actually requested were generated (plus none extra
+        # beyond the take window)
+        assert len(pulled) <= 4
+
+    def test_from_iterable_generator_failure(self):
+        def generator():
+            yield 1
+            raise RuntimeError("generator failed")
+
+        result = pull(from_iterable(generator()), collect())
+        assert isinstance(result.end, RuntimeError)
+
+    def test_infinite_with_take(self):
+        assert pull(infinite(), take(4), collect()).result() == [0, 1, 2, 3]
+
+    def test_infinite_custom_generator(self):
+        result = pull(infinite(lambda: "x"), take(3), collect()).result()
+        assert result == ["x", "x", "x"]
+
+
+class TestSinks:
+    def test_collect(self):
+        assert pull(count(3), collect()).result() == [1, 2, 3]
+
+    def test_drain_counts_values(self):
+        assert pull(count(7), drain()).result() == 7
+
+    def test_drain_with_op(self):
+        seen = []
+        pull(count(3), drain(op=seen.append))
+        assert seen == [1, 2, 3]
+
+    def test_drain_op_false_aborts(self):
+        seen = []
+
+        def op(value):
+            seen.append(value)
+            return value < 3  # abort after 3
+
+        result = pull(count(100), drain(op=op))
+        assert result.done
+        assert seen[-1] == 3
+
+    def test_drain_sync(self):
+        assert drain_sync(count(10)) == 10
+
+    def test_reduce(self):
+        assert pull(count(5), reduce(lambda acc, v: acc + v, 0)).result() == 15
+
+    def test_reduce_initial(self):
+        assert pull(values([]), reduce(lambda acc, v: acc + v, 100)).result() == 100
+
+    def test_find(self):
+        assert pull(count(100), find(lambda v: v > 10)).result() == 11
+
+    def test_find_no_match(self):
+        assert pull(count(5), find(lambda v: v > 10)).result() is None
+
+    def test_on_end_callback(self):
+        ends = []
+        pull(count(3), on_end(ends.append))
+        assert len(ends) == 1 and ends[0] is DONE
+
+    def test_done_callbacks_fire(self):
+        calls = []
+        result = pull(count(2), collect(done=lambda end, items: calls.append(items)))
+        assert calls == [[1, 2]]
+        result.on_done(lambda r: calls.append("late"))
+        assert calls[-1] == "late"
+
+    def test_result_raises_before_done(self):
+        from repro.pullstream.sinks import SinkResult
+
+        pending = SinkResult()
+        with pytest.raises(PandoError):
+            pending.result()
+
+    def test_large_synchronous_stream_no_recursion_error(self):
+        # 100k synchronous values must not blow the recursion limit
+        assert pull(count(100_000), drain()).result() == 100_000

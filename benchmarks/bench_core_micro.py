@@ -7,6 +7,8 @@ serialization) so performance regressions in the substrate are caught.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro import (
@@ -23,7 +25,9 @@ from repro import (
 from repro.net.serialization import decode_binary, encode_binary
 from repro.pullstream import async_map, duplex_pair
 
-N = 10_000
+# Fast mode (REPRO_BENCH_FAST=1) shrinks the workload so the CI bench smoke
+# finishes in seconds while still executing every code path.
+N = 1_000 if os.environ.get("REPRO_BENCH_FAST") else 10_000
 
 
 def test_pullstream_pipeline_throughput(benchmark):

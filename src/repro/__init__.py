@@ -57,6 +57,7 @@ from .core import (
     stubborn,
 )
 from .master import Bundle, MasterConfig, PandoMaster, bundle_function, bundle_module
+from .pool import ProcessPoolWorker
 from .errors import (
     BundlingError,
     ConnectionClosed,
@@ -98,6 +99,8 @@ __all__ = [
     "WorkerHandle",
     "limit",
     "stubborn",
+    # process-pool backend
+    "ProcessPoolWorker",
     # master
     "Bundle",
     "MasterConfig",

@@ -1,22 +1,20 @@
-"""Personal devices vs. server cores (paper section 5.5).
+"""Backend and device comparisons.
 
-The paper draws two qualitative conclusions from Table 2:
+Two families of comparisons live here:
 
-* "A single core from personal devices of 2016 sometimes provides higher
-  throughput than older servers" — e.g. the iPhone SE outperforms
-  ``uvb.sophia`` and almost all PlanetLab nodes on Collatz;
-* "2-5 cores on recent personal devices can outperform the fastest server
-  core" — a few friends' phones/laptops can replace renting a high-end
-  data-centre core.
-
-:func:`device_vs_server` quantifies both claims from the calibrated device
-profiles and (optionally) verifies them against simulated measurements.
+* **personal devices vs. server cores** (paper section 5.5), computed from
+  the calibrated device profiles;
+* **execution backends** — one synchronous in-process worker vs. the
+  process-pool backend — measured on the real host with
+  :func:`compare_backends`, quantifying how far the reproduction is from
+  "as fast as the hardware allows".
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from ..devices.profiles import (
     DeviceProfile,
@@ -31,6 +29,8 @@ __all__ = [
     "single_core_rate",
     "device_vs_server",
     "cores_needed_to_match",
+    "BackendComparison",
+    "compare_backends",
 ]
 
 
@@ -71,9 +71,12 @@ def device_vs_server(
 ) -> List[ComparisonRow]:
     """Compare recent personal devices against server cores.
 
-    Defaults reproduce the paper's examples: iPhone SE and MacBook Pro 2016
-    against the slowest Grid5000 node (``uvb.sophia``), the fastest one
-    (``dahu.grenoble``) and a PlanetLab node.
+    Quantifies the paper's two Table-2 conclusions — "a single core from
+    personal devices of 2016 sometimes provides higher throughput than older
+    servers" and "2-5 cores on recent personal devices can outperform the
+    fastest server core".  Defaults reproduce the paper's examples: iPhone SE
+    and MacBook Pro 2016 against the slowest Grid5000 node (``uvb.sophia``),
+    the fastest one (``dahu.grenoble``) and a PlanetLab node.
     """
     personal = [
         device_by_name(name)
@@ -109,3 +112,97 @@ def device_vs_server(
                 )
             )
     return rows
+
+
+# --------------------------------------------------------------------------
+# Execution backends: in-process worker vs. process pool (measured).
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class BackendComparison:
+    """Measured wall-clock of the local backend vs. the process pool."""
+
+    workload: str
+    values: int
+    processes: int
+    batch_size: int
+    local_seconds: float
+    pool_seconds: float
+    results_match: bool
+
+    @property
+    def speedup(self) -> float:
+        """Pool speedup over one synchronous in-process worker."""
+        if self.pool_seconds <= 0:
+            return float("inf")
+        return self.local_seconds / self.pool_seconds
+
+
+def _node_style_wrapper(fn_ref: Any) -> Callable[[Any, Callable], None]:
+    """Adapt any pool function reference to the ``fn(value, cb)`` convention."""
+    from ..pool.tasks import expects_callback, resolve_callable
+
+    fn = resolve_callable(fn_ref)
+    if expects_callback(fn):
+        return fn
+
+    def node_fn(value: Any, cb: Callable) -> None:
+        try:
+            cb(None, fn(value))
+        except Exception as exc:
+            cb(exc, None)
+
+    return node_fn
+
+
+def compare_backends(
+    fn_ref: Any,
+    inputs: Iterable[Any],
+    processes: int = 4,
+    batch_size: int = 4,
+    window: Optional[int] = None,
+    workload: Optional[str] = None,
+) -> BackendComparison:
+    """Run *inputs* through one local worker, then through a process pool.
+
+    Both runs use the same ``DistributedMap`` composition, so the measured
+    difference is purely the execution backend: synchronous single-thread
+    application vs. *processes* OS processes fed ``batch_size``-value frames.
+    The pool run includes pool start-up, which is the honest number a user
+    experiences.
+    """
+    from ..core.distributed_map import DistributedMap
+    from ..pullstream import collect, pull, values
+
+    items = list(inputs)
+    node_fn = _node_style_wrapper(fn_ref)
+
+    start = time.perf_counter()
+    local_map = DistributedMap(batch_size=max(1, batch_size))
+    local_sink = pull(values(items), local_map, collect())
+    local_map.add_local_worker(node_fn)
+    local_results = local_sink.result()
+    local_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    pool_map = DistributedMap(batch_size=max(1, batch_size))
+    pool_sink = pull(values(items), pool_map, collect())
+    try:
+        pool_map.add_process_pool(
+            fn_ref, processes=processes, batch_size=batch_size, window=window
+        )
+        pool_results = pool_sink.result()
+    finally:
+        pool_map.close()
+    pool_seconds = time.perf_counter() - start
+
+    return BackendComparison(
+        workload=workload or repr(fn_ref),
+        values=len(items),
+        processes=processes,
+        batch_size=batch_size,
+        local_seconds=local_seconds,
+        pool_seconds=pool_seconds,
+        results_match=local_results == pool_results,
+    )

@@ -13,15 +13,17 @@ JSON result per line to the standard output.  Status messages (the volunteer
 URL, worker joins) go to standard error, exactly as in the paper, so they do
 not pollute the pipeline.
 
-Workers are in-process (``--workers N`` of them); a real browser fleet is
-replaced by the simulation API (see ``repro.sim.scenario``) which the
-``--simulate`` flag exposes for convenience.
+Workers are in-process (``--workers N`` of them) or, with ``--backend pool``,
+a pool of ``N`` OS processes executing the function in parallel; a real
+browser fleet is replaced by the simulation API (see ``repro.sim.scenario``)
+which the ``--simulate`` flag exposes for convenience.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Any, Iterable, Iterator, List, Optional
 
@@ -60,14 +62,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--stdin", action="store_true", help="read input values from standard input"
     )
     parser.add_argument(
-        "--workers", type=int, default=2, help="number of in-process workers"
+        "--workers",
+        type=int,
+        default=2,
+        help="number of workers: in-process workers with --backend local, "
+        "pool processes with --backend pool",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["local", "pool"],
+        default="local",
+        help="execution backend: 'local' runs the function synchronously on "
+        "in-process workers, 'pool' dispatches it to a pool of OS processes "
+        "(real parallelism for CPU-bound functions)",
     )
     parser.add_argument(
         "--batch-size",
         type=int,
         default=2,
         dest="batch_size",
-        help="values kept in flight per worker (Limiter window)",
+        help="values kept in flight per worker (Limiter window); with "
+        "--backend pool, also the number of values coalesced per frame",
     )
     parser.add_argument(
         "--unordered",
@@ -118,13 +133,32 @@ def run_pipeline(
     workers: int,
     batch_size: int,
     ordered: bool = True,
+    backend: str = "local",
+    fn_ref: Any = None,
 ) -> List[Any]:
-    """Run the distributed map with in-process workers and return the results."""
+    """Run the distributed map and return the results.
+
+    ``backend="local"`` attaches *workers* in-process workers applying the
+    bundle's function synchronously; ``backend="pool"`` attaches one process
+    pool of *workers* OS processes executing *fn_ref* (any reference accepted
+    by :func:`repro.pool.tasks.resolve_callable`, defaulting to the bundle's
+    function, which must then be picklable).
+    """
     dmap = DistributedMap(ordered=ordered, batch_size=batch_size)
     sink = pull(from_iterable(inputs), dmap, collect())
-    for _ in range(max(1, workers)):
-        dmap.add_local_worker(bundle.apply)
-    return sink.result()
+    try:
+        if backend == "pool":
+            dmap.add_process_pool(
+                fn_ref if fn_ref is not None else bundle.function,
+                processes=max(1, workers),
+                batch_size=batch_size,
+            )
+        else:
+            for _ in range(max(1, workers)):
+                dmap.add_local_worker(bundle.apply)
+        return sink.result()
+    finally:
+        dmap.close()
 
 
 def _run_simulated(app, setting: str, count: Optional[int], stderr) -> List[Any]:
@@ -146,11 +180,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     stderr = sys.stderr
 
     app = None
+    fn_ref: Any = None
     if args.app is not None:
         app = app_registry.create(args.app)
         bundle = bundle_function(app.process, name=args.app, application=app)
+        # bound methods of the registered applications are picklable
+        fn_ref = app.process
     elif args.module is not None:
         bundle = bundle_module(args.module)
+        # re-bundled by dotted reference inside each worker process
+        fn_ref = ("file", os.path.abspath(args.module))
     else:
         parser.error("either a module file or --app is required")
         return 2  # pragma: no cover - parser.error raises
@@ -181,6 +220,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         workers=args.workers,
         batch_size=args.batch_size,
         ordered=not args.unordered,
+        backend=args.backend,
+        fn_ref=fn_ref,
     )
     for result in results:
         _emit(result, sys.stdout)

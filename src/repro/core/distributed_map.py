@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional
 
 from ..errors import PandoError
-from ..pullstream import async_map, pull
+from ..pullstream import async_map, batching, pull, unbatching
 from ..pullstream.duplex import Duplex
 from ..pullstream.protocol import Source
 from .lender import StreamLender, SubStream, UnorderedStreamLender
@@ -33,10 +33,14 @@ class WorkerHandle:
         worker_id: str,
         substream: SubStream,
         limiter: Optional[Limiter],
+        pool: Optional[Any] = None,
     ) -> None:
         self.worker_id = worker_id
         self.substream = substream
         self.limiter = limiter
+        #: the :class:`~repro.pool.process_pool.ProcessPoolWorker` backing
+        #: this worker, when the process-pool backend is used
+        self.pool = pool
 
     @property
     def closed(self) -> bool:
@@ -61,9 +65,11 @@ class DistributedMap:
     The object is a pull-stream *through*: place it between a source of
     inputs and a sink of results.  Workers are added at any time with
     :meth:`add_channel` (a duplex connected to a remote worker that applies
-    the function) or :meth:`add_local_worker` (an in-process worker given the
-    function directly, mirroring the paper's observation that Pando "trivially
-    enables parallel processing on multicore architectures").
+    the function), :meth:`add_local_worker` (an in-process worker given the
+    function directly) or :meth:`add_process_pool` (a pool of OS processes —
+    the backend that realises the paper's observation that Pando "trivially
+    enables parallel processing on multicore architectures" at full hardware
+    speed).
     """
 
     pull_role = "through"
@@ -77,6 +83,7 @@ class DistributedMap:
             StreamLender() if ordered else UnorderedStreamLender()
         )
         self._workers: Dict[str, WorkerHandle] = {}
+        self._pools: List[Any] = []
         self._counter = 0
 
     # ------------------------------------------------------------------ API
@@ -89,6 +96,7 @@ class DistributedMap:
         channel: Duplex,
         worker_id: Optional[str] = None,
         batch_size: Optional[int] = None,
+        frame_batch: int = 1,
     ) -> WorkerHandle:
         """Attach a worker reachable through the duplex *channel*.
 
@@ -96,20 +104,26 @@ class DistributedMap:
         result per input, in order.  A :class:`Limiter` bounds the number of
         in-flight values to *batch_size* (defaults to the map's batch size),
         which is how Pando hides network latency.
+
+        With ``frame_batch > 1``, up to that many values are coalesced into
+        one :class:`~repro.net.serialization.Batch` DATA frame (and results
+        unbatched), amortising the per-frame dispatch cost; the far side of
+        the channel must then answer one result frame per input frame, e.g.
+        via :func:`repro.pullstream.map_batches`.  The Limiter window counts
+        frames, not values.
+
+        Raises :class:`~repro.errors.PandoError` — before any wiring — when
+        the map's output has already terminated (see :meth:`closed`).
         """
         worker_id = worker_id or self._next_worker_id()
+        # Construct the Limiter (which validates the window) before lending a
+        # sub-stream, so an invalid batch_size cannot leave a phantom open
+        # sub-stream behind.
         window = batch_size if batch_size is not None else self.batch_size
         limiter = Limiter(channel, window)
-        handle_box: List[WorkerHandle] = []
-
-        def on_substream(err: Optional[BaseException], sub: Optional[SubStream]) -> None:
-            if err is not None or sub is None:
-                raise PandoError(f"cannot lend a sub-stream to {worker_id}: {err!r}")
-            pull(sub.source, limiter, sub.sink)
-            handle_box.append(WorkerHandle(worker_id, sub, limiter))
-
-        self.lender.lend_stream(on_substream)
-        handle = handle_box[0]
+        sub = self._lend_substream(worker_id)
+        self._wire(sub, limiter, frame_batch)
+        handle = WorkerHandle(worker_id, sub, limiter)
         self._workers[worker_id] = handle
         return handle
 
@@ -122,20 +136,117 @@ class DistributedMap:
 
         *fn* follows the Pando processing-function convention
         ``fn(value, cb)`` with ``cb(err, result)`` (paper Figure 2).
+
+        Raises :class:`~repro.errors.PandoError` — before any wiring — when
+        the map's output has already terminated (see :meth:`closed`).
         """
         worker_id = worker_id or self._next_worker_id()
-        handle_box: List[WorkerHandle] = []
-
-        def on_substream(err: Optional[BaseException], sub: Optional[SubStream]) -> None:
-            if err is not None or sub is None:
-                raise PandoError(f"cannot lend a sub-stream to {worker_id}: {err!r}")
-            pull(sub.source, async_map(fn), sub.sink)
-            handle_box.append(WorkerHandle(worker_id, sub, None))
-
-        self.lender.lend_stream(on_substream)
-        handle = handle_box[0]
+        sub = self._lend_substream(worker_id)
+        pull(sub.source, async_map(fn), sub.sink)
+        handle = WorkerHandle(worker_id, sub, None)
         self._workers[worker_id] = handle
         return handle
+
+    def add_process_pool(
+        self,
+        fn_ref: Any,
+        processes: Optional[int] = None,
+        batch_size: Optional[int] = None,
+        window: Optional[int] = None,
+        worker_id: Optional[str] = None,
+        task_timeout: Optional[float] = None,
+    ) -> WorkerHandle:
+        """Attach a pool of OS processes executing *fn_ref* in parallel.
+
+        *fn_ref* is anything :func:`repro.pool.tasks.resolve_callable`
+        accepts: a ``"module:attribute"`` string, a ``("file", path)`` Pando
+        module reference, or a picklable callable (plain ``fn(value)`` and
+        node-style ``fn(value, cb)`` conventions are both supported).
+
+        ``batch_size`` values (defaulting to the map's batch size) travel to
+        the pool in one frame — one inter-process round trip — and ``window``
+        frames are kept in flight by the :class:`Limiter` (defaulting to
+        ``processes + 1`` so every process stays busy while the head-of-line
+        result is awaited).  One handle therefore drives *processes*-way
+        parallelism through a single sub-stream, while crash-stop semantics
+        (a task error or a killed worker process) remain exactly those of a
+        remote channel: the sub-stream fails and borrowed values are re-lent.
+        """
+        from ..pool import ProcessPoolWorker, default_window
+
+        worker_id = worker_id or self._next_worker_id()
+        # The executor spawns its processes lazily, so creating the pool
+        # before the late-attachment check in _lend_substream costs nothing;
+        # on failure it is closed before the error propagates.
+        pool = ProcessPoolWorker(fn_ref, processes=processes, task_timeout=task_timeout)
+        try:
+            frame = batch_size if batch_size is not None else self.batch_size
+            limiter = Limiter(
+                pool, window if window is not None else default_window(pool.processes)
+            )
+            sub = self._lend_substream(worker_id)
+        except Exception:
+            pool.close()
+            raise
+        self._wire(sub, limiter, frame)
+        handle = WorkerHandle(worker_id, sub, limiter, pool=pool)
+        self._workers[worker_id] = handle
+        self._pools.append(pool)
+        return handle
+
+    # ------------------------------------------------------------ internals
+    def _lend_substream(self, worker_id: str) -> SubStream:
+        """Create the sub-stream for a new worker, failing cleanly when the
+        map's output has already terminated (late attachment)."""
+        if self.lender.ended:
+            raise PandoError(
+                f"cannot attach {worker_id}: the distributed map output has "
+                f"already terminated"
+            )
+        box: List[Any] = []
+
+        def on_substream(err: Optional[BaseException], sub: Optional[SubStream]) -> None:
+            box.append(err if err is not None else sub)
+
+        self.lender.lend_stream(on_substream)
+        result = box[0]
+        if result is None or isinstance(result, BaseException):
+            raise PandoError(
+                f"cannot lend a sub-stream to {worker_id}: {result!r}"
+            ) from (result if isinstance(result, BaseException) else None)
+        return result
+
+    @staticmethod
+    def _wire(sub: SubStream, limiter: Limiter, frame_batch: int) -> None:
+        """Figure 9 wiring, optionally framing values into batches."""
+        if frame_batch > 1:
+            pull(sub.source, batching(frame_batch), limiter, unbatching(), sub.sink)
+        else:
+            pull(sub.source, limiter, sub.sink)
+
+    # ------------------------------------------------------------ lifecycle
+    @property
+    def closed(self) -> bool:
+        """True once the output stream has terminated (downstream abort).
+
+        Attaching a worker afterwards raises
+        :class:`~repro.errors.PandoError`.  Attaching after the output merely
+        *drained* (all inputs processed, no abort) is allowed and harmless:
+        the worker's sub-stream ends on its first borrow and the returned
+        handle reports ``closed`` immediately.
+        """
+        return self.lender.ended
+
+    def close(self) -> None:
+        """Release every process pool attached to this map (idempotent)."""
+        for pool in self._pools:
+            pool.close()
+
+    def __enter__(self) -> "DistributedMap":
+        return self
+
+    def __exit__(self, *_exc_info: Any) -> None:
+        self.close()
 
     # ------------------------------------------------------------ inspection
     @property

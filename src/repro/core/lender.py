@@ -438,11 +438,13 @@ class StreamLender:
             cb(self._termination_marker(), None)
         self._ask_queue.clear()
         self._parked.clear()
-        for sub in self._substreams:
+        # Close through the regular path so borrowed values are recycled,
+        # ``outstanding`` returns to zero, and crashed sub-streams are counted
+        # as failures — keeping ``values_lent == results_delivered +
+        # relendable + outstanding`` true even after an abort.
+        for sub in list(self._substreams):
             if not sub.closed:
-                sub.closed = True
-                sub.close_reason = self._output_end
-                self.stats.substreams_closed += 1
+                self._close_substream(sub, self._output_end)
 
     # ----------------------------------------------------------- predicates
     def _all_work_done(self) -> bool:
@@ -478,6 +480,11 @@ class StreamLender:
         return DONE
 
     # ----------------------------------------------------------- inspection
+    @property
+    def ended(self) -> bool:
+        """True once the output stream has terminated (downstream abort)."""
+        return self._output_end is not None
+
     @property
     def outstanding(self) -> int:
         """Number of values currently lent to live sub-streams."""

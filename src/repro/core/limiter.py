@@ -103,7 +103,7 @@ class Limiter:
 
         def answer(answer_end: End, value: Any) -> None:
             if answer_end is not None:
-                self._ended = answer_end if is_error(answer_end) else DONE
+                self._terminate(answer_end)
                 cb(self._ended, None)
                 return
             self._in_flight += 1
@@ -116,6 +116,7 @@ class Limiter:
     def _make_source(self) -> Source:
         def read(end: End, cb: Callback) -> None:
             if end is not None:
+                self._terminate(end)
                 self.channel.source(end, cb)
                 return
 
@@ -123,6 +124,12 @@ class Limiter:
                 if answer_end is None:
                     self._in_flight = max(0, self._in_flight - 1)
                     self._release_gate()
+                else:
+                    # The channel's result stream terminated (worker done or
+                    # crashed): the window will never reopen, so a parked
+                    # gated ask must be failed/released too — otherwise the
+                    # channel sink waits forever and the callback leaks.
+                    self._terminate(answer_end)
                 cb(answer_end, value)
 
             self.channel.source(None, answer)
@@ -136,6 +143,15 @@ class Limiter:
         _end, cb = self._gated_ask
         self._gated_ask = None
         self._forward_upstream(cb)
+
+    def _terminate(self, end: End) -> None:
+        """Record termination and answer any parked gated ask with it."""
+        if self._ended is None:
+            self._ended = end if is_error(end) else DONE
+        if self._gated_ask is not None:
+            _end, gated_cb = self._gated_ask
+            self._gated_ask = None
+            gated_cb(self._ended, None)
 
 
 def limit(channel: Duplex, n: int = 1) -> Limiter:

@@ -1,0 +1,248 @@
+"""A pull-stream duplex backed by a pool of OS processes.
+
+The paper's evaluation runs every worker in a separate browser tab — a real
+OS process — while the reproduction's ``add_local_worker`` executes the
+function synchronously on the interpreter thread, which caps CPU-bound
+applications at single-core speed.  :class:`ProcessPoolWorker` closes that
+gap: it exposes the same :class:`~repro.pullstream.duplex.Duplex` shape as a
+network channel (sink: values in, source: results out, one result frame per
+input frame, in borrow order) but dispatches the work to a
+``concurrent.futures.ProcessPoolExecutor``.
+
+Because the duplex contract is identical, the whole master-side machinery —
+``StreamLender`` fault tolerance, ``Limiter`` admission windows,
+``batching`` wire frames — composes with it unchanged (paper Figure 9)::
+
+    pool = ProcessPoolWorker("mypackage.tasks:render", processes=4)
+    pull(sub.source, batching(8), Limiter(pool, 5), unbatching(), sub.sink)
+
+Flow control: the sink eagerly drains its upstream (exactly like the network
+channel adapters, which is why a ``Limiter`` belongs in front) and submits
+one executor task per frame; the source blocks on the oldest pending future,
+so later frames keep computing in other processes while the head of line is
+awaited.  A task that raises — including a crashed worker process
+(``BrokenProcessPool``) — errors the result stream, which ``StreamLender``
+treats as a crash-stop failure and re-lends the borrowed values elsewhere.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from collections import deque
+from concurrent.futures import CancelledError, Future, ProcessPoolExecutor
+from typing import Any, Callable, Deque, Optional, Tuple
+
+from ..errors import PandoError, ProtocolError, WorkerCrashed
+from ..net.serialization import Batch
+from ..pullstream.protocol import DONE, Callback, End, Source, is_error
+from ..pullstream.sinks import eager_pump
+from .tasks import FunctionRef, resolve_callable, run_batch, run_task
+
+__all__ = ["ProcessPoolWorker", "default_window"]
+
+
+def default_window(processes: Optional[int]) -> int:
+    """Limiter window that keeps *processes* workers busy plus one in reserve."""
+    return max(2, (processes or os.cpu_count() or 1) + 1)
+
+
+class ProcessPoolWorker:
+    """Duplex channel whose far side is a ``ProcessPoolExecutor``.
+
+    Parameters
+    ----------
+    fn_ref:
+        The processing function, as accepted by
+        :func:`repro.pool.tasks.resolve_callable` — a dotted-name string, a
+        ``("file", path)`` tuple, or a picklable callable.
+    processes:
+        Pool size (defaults to ``os.cpu_count()``).
+    task_timeout:
+        Optional per-frame timeout in seconds when awaiting a result; a
+        timeout errors the result stream like a crashed worker.
+    """
+
+    pull_role = "duplex"
+
+    def __init__(
+        self,
+        fn_ref: FunctionRef,
+        processes: Optional[int] = None,
+        task_timeout: Optional[float] = None,
+        mp_context: Optional[Any] = None,
+    ) -> None:
+        self._validate_ref(fn_ref)
+        self.fn_ref = fn_ref
+        self.processes = processes or os.cpu_count() or 1
+        self.task_timeout = task_timeout
+        self._executor: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
+            max_workers=self.processes, mp_context=mp_context
+        )
+        #: (future, was_batch) in submission (= borrow) order
+        self._pending: Deque[Tuple[Future, bool]] = deque()
+        self._upstream_ended: End = None
+        self._result_waiting: Optional[Callback] = None
+        self._closed: End = None
+        # counters for benches and tests
+        self.tasks_submitted = 0
+        self.values_dispatched = 0
+        self.results_returned = 0
+        self.source = self._make_source()
+        self.sink = self._make_sink()
+
+    @staticmethod
+    def _validate_ref(fn_ref: FunctionRef) -> None:
+        """Fail fast, in the parent, on unresolvable or unpicklable functions."""
+        if isinstance(fn_ref, (str, tuple)):
+            resolve_callable(fn_ref)
+            return
+        try:
+            pickle.dumps(fn_ref)
+        except Exception as exc:
+            raise PandoError(
+                f"processing function {fn_ref!r} is not picklable and cannot "
+                f"be shipped to worker processes; pass a 'module:attribute' "
+                f"reference instead"
+            ) from exc
+
+    # ----------------------------------------------------------- sink side
+    def _make_sink(self) -> Callable[[Source], None]:
+        def sink(read: Source) -> None:
+            def on_end(answer_end: End) -> None:
+                self._upstream_ended = answer_end if is_error(answer_end) else DONE
+                self._maybe_finish()
+
+            eager_pump(
+                read,
+                on_value=self._submit,
+                on_end=on_end,
+                closed_reason=lambda: self._closed,
+            )
+
+        sink.pull_role = "sink"
+        return sink
+
+    def _submit(self, value: Any) -> None:
+        assert self._executor is not None
+        if isinstance(value, Batch):
+            future = self._executor.submit(run_batch, self.fn_ref, list(value.values))
+            self._pending.append((future, True))
+            self.values_dispatched += len(value)
+        else:
+            future = self._executor.submit(run_task, self.fn_ref, value)
+            self._pending.append((future, False))
+            self.values_dispatched += 1
+        self.tasks_submitted += 1
+        if self._result_waiting is not None:
+            waiting, self._result_waiting = self._result_waiting, None
+            self._deliver(waiting)
+
+    # --------------------------------------------------------- source side
+    def _make_source(self) -> Source:
+        def read(end: End, cb: Callback) -> None:
+            if end is not None:
+                self._shutdown(end if is_error(end) else DONE)
+                cb(end if is_error(end) else DONE, None)
+                return
+            if self._result_waiting is not None:
+                cb(ProtocolError("ProcessPoolWorker source asked twice concurrently"), None)
+                return
+            if self._pending:
+                self._deliver(cb)
+                return
+            if self._upstream_ended is not None or self._closed is not None:
+                termination = (
+                    self._closed
+                    if is_error(self._closed)
+                    else self._upstream_ended
+                    if is_error(self._upstream_ended)
+                    else DONE
+                )
+                self._shutdown(termination)
+                cb(termination, None)
+                return
+            self._result_waiting = cb
+
+        read.pull_role = "source"
+        return read
+
+    def _deliver(self, cb: Callback) -> None:
+        """Block on the oldest pending future and answer with its result."""
+        future, was_batch = self._pending.popleft()
+        try:
+            result = future.result(timeout=self.task_timeout)
+        except (Exception, CancelledError) as exc:
+            error = (
+                exc
+                if isinstance(exc, Exception)
+                else WorkerCrashed(f"process pool task failed: {exc!r}")
+            )
+            self._shutdown(error)
+            cb(error, None)
+            return
+        self.results_returned += len(result) if was_batch else 1
+        cb(None, Batch(result) if was_batch else result)
+
+    def _maybe_finish(self) -> None:
+        """Answer a parked result ask once the borrow side ended and drained."""
+        if self._result_waiting is None or self._pending:
+            return
+        if self._upstream_ended is None and self._closed is None:
+            return
+        waiting, self._result_waiting = self._result_waiting, None
+        termination = (
+            self._upstream_ended if is_error(self._upstream_ended) else DONE
+        )
+        self._shutdown(termination)
+        waiting(termination, None)
+
+    # ------------------------------------------------------------ lifecycle
+    def _shutdown(self, reason: End) -> None:
+        if self._closed is None:
+            self._closed = reason if reason is not None else DONE
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            for future, _was_batch in self._pending:
+                future.cancel()
+            executor.shutdown(wait=False)
+        # A parked result ask must be answered on *any* termination —
+        # including close() — so the sub-stream closes and its borrowed
+        # values are re-lent instead of being silently stranded (the same
+        # leak the Limiter gated-ask fix addresses).
+        if self._result_waiting is not None:
+            waiting, self._result_waiting = self._result_waiting, None
+            waiting(self._closed, None)
+
+    def close(self) -> None:
+        """Release the worker processes (idempotent)."""
+        self._shutdown(DONE)
+
+    @property
+    def closed(self) -> bool:
+        """True once the pool has been shut down."""
+        return self._closed is not None
+
+    @property
+    def pending(self) -> int:
+        """Number of frames submitted and not yet answered."""
+        return len(self._pending)
+
+    def __enter__(self) -> "ProcessPoolWorker":
+        return self
+
+    def __exit__(self, *_exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "closed" if self.closed else "open"
+        return (
+            f"<ProcessPoolWorker {self.fn_ref!r} processes={self.processes} "
+            f"{state} pending={len(self._pending)}>"
+        )

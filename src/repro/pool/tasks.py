@@ -1,0 +1,149 @@
+"""Child-process side of the process-pool backend.
+
+The functions in this module are the only code submitted to the
+``ProcessPoolExecutor``: they are plain module-level functions, hence
+picklable under every multiprocessing start method.  A *function reference*
+describes the user's processing function in a way that survives the trip to
+the child process:
+
+* a dotted name string, ``"package.module:attribute"`` (or
+  ``"package.module.attribute"``), resolved by import in the child and cached
+  per process;
+* a ``("file", path)`` tuple naming a Pando module file, re-bundled in the
+  child with :func:`repro.master.bundler.bundle_module` (the paper's
+  ``exports['/pando/1.0.0']`` convention);
+* any picklable callable (e.g. the bound ``process`` method of a built-in
+  application).
+
+Both calling conventions of the code base are supported: plain functions
+``fn(value) -> result`` and the paper's node-style ``fn(value, cb)`` with
+``cb(err, result)``; the convention is detected once from the signature.  A
+node-style function submitted to the pool must call its callback
+synchronously — there is no event loop in the child.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+from typing import Any, Callable, List, Tuple, Union
+
+from ..errors import PandoError
+
+__all__ = ["FunctionRef", "expects_callback", "resolve_callable", "run_task", "run_batch"]
+
+FunctionRef = Union[str, Tuple[str, str], Callable[..., Any]]
+
+#: Per-process cache of resolved (callable, expects_callback) pairs.
+_RESOLVED: dict = {}
+
+
+def resolve_callable(ref: FunctionRef) -> Callable[..., Any]:
+    """Resolve a function reference to the callable it names."""
+    if callable(ref):
+        return ref
+    if isinstance(ref, tuple) and len(ref) == 2 and ref[0] == "file":
+        from ..master.bundler import bundle_module
+
+        return bundle_module(ref[1]).apply
+    if isinstance(ref, str):
+        return _resolve_dotted(ref)
+    raise PandoError(
+        f"unsupported function reference {ref!r}: expected a callable, a "
+        f"'module:attribute' string, or a ('file', path) tuple"
+    )
+
+
+def _resolve_dotted(ref: str) -> Callable[..., Any]:
+    if ":" in ref:
+        module_name, _, attr_path = ref.partition(":")
+        candidates = [(module_name, attr_path)]
+    else:
+        # "package.module.attribute": try every split, innermost module first.
+        parts = ref.split(".")
+        candidates = [
+            (".".join(parts[:index]), ".".join(parts[index:]))
+            for index in range(len(parts) - 1, 0, -1)
+        ]
+    last_error: Exception = PandoError(f"cannot resolve function reference {ref!r}")
+    for module_name, attr_path in candidates:
+        try:
+            target: Any = importlib.import_module(module_name)
+        except ImportError as exc:
+            last_error = exc
+            continue
+        try:
+            for attr in attr_path.split("."):
+                target = getattr(target, attr)
+        except AttributeError as exc:
+            last_error = exc
+            continue
+        if not callable(target):
+            raise PandoError(f"function reference {ref!r} names a non-callable: {target!r}")
+        return target
+    raise PandoError(f"cannot resolve function reference {ref!r}: {last_error!r}")
+
+
+def expects_callback(fn: Callable[..., Any]) -> bool:
+    """True when *fn* follows the node-style ``fn(value, cb)`` convention."""
+    try:
+        signature = inspect.signature(fn)
+    except (TypeError, ValueError):
+        return False
+    required = [
+        parameter
+        for parameter in signature.parameters.values()
+        if parameter.kind
+        in (parameter.POSITIONAL_ONLY, parameter.POSITIONAL_OR_KEYWORD)
+        and parameter.default is parameter.empty
+    ]
+    return len(required) >= 2
+
+
+def _prepared(ref: FunctionRef) -> Tuple[Callable[..., Any], bool]:
+    key = ref if isinstance(ref, (str, tuple)) else None
+    if key is not None and key in _RESOLVED:
+        return _RESOLVED[key]
+    fn = resolve_callable(ref)
+    prepared = (fn, expects_callback(fn))
+    if key is not None:
+        _RESOLVED[key] = prepared
+    return prepared
+
+
+def _apply(fn: Callable[..., Any], node_style: bool, value: Any) -> Any:
+    if not node_style:
+        return fn(value)
+    box: dict = {}
+
+    def cb(err: Any, result: Any = None) -> None:
+        box["done"] = True
+        box["err"] = err
+        box["result"] = result
+
+    fn(value, cb)
+    if not box.get("done"):
+        raise PandoError(
+            f"node-style function {fn!r} did not call its callback synchronously; "
+            f"the process-pool backend has no event loop in the child"
+        )
+    err = box["err"]
+    if err is not None:
+        raise err if isinstance(err, BaseException) else PandoError(repr(err))
+    return box["result"]
+
+
+def run_task(ref: FunctionRef, value: Any) -> Any:
+    """Executor entry point: apply the referenced function to one value."""
+    fn, node_style = _prepared(ref)
+    return _apply(fn, node_style, value)
+
+
+def run_batch(ref: FunctionRef, values: List[Any]) -> List[Any]:
+    """Executor entry point: apply the referenced function to a whole frame.
+
+    One submission per frame is what amortises the inter-process round trip;
+    results come back as a list in input order.
+    """
+    fn, node_style = _prepared(ref)
+    return [_apply(fn, node_style, value) for value in values]

@@ -1,0 +1,92 @@
+"""Picklable workload functions for the process-pool backend.
+
+Every function here is a plain module-level callable, so it can be referenced
+by dotted name (``"repro.pool.workloads:render_frame"``) and executed in a
+worker process.  They mirror the paper's CPU-bound applications (raytracer
+frames, crypto nonce search) plus latency-bound stand-ins used by the
+benchmarks to demonstrate overlap independently of the host's core count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from typing import Any, Dict
+
+__all__ = ["echo", "square", "sleep_echo", "spin", "render_frame", "search_nonces"]
+
+
+def echo(value: Any) -> Any:
+    """Identity — the no-op baseline for dispatch-overhead measurements."""
+    return value
+
+
+def square(value: Any) -> Any:
+    """Square a number (the quickstart function, pool-style)."""
+    return value * value
+
+
+def sleep_echo(value: Any) -> Any:
+    """Sleep then echo: a latency-bound task (``{"sleep": seconds, ...}``).
+
+    Parallel speedup on sleeping tasks does not require multiple cores, which
+    makes this the portable workload for demonstrating that the pool overlaps
+    work even on single-core CI hosts.
+    """
+    if isinstance(value, dict) and "sleep" in value:
+        time.sleep(float(value["sleep"]))
+    return value
+
+
+def spin(value: Any) -> Any:
+    """CPU-bound busy work: ``{"rounds": n}`` SHA-256 chains over the input."""
+    rounds = int(value.get("rounds", 10_000)) if isinstance(value, dict) else int(value)
+    digest = repr(value).encode("utf-8")
+    for _ in range(rounds):
+        digest = hashlib.sha256(digest).digest()
+    return digest.hex()
+
+
+def render_frame(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Render one raytraced animation frame (paper sections 2.1/4.1).
+
+    ``spec`` follows :meth:`repro.apps.raytracer.RaytraceApplication
+    .generate_inputs` (``{"angle": ..., "frame": ...}``) with optional
+    ``width``/``height`` overrides.
+    """
+    from ..apps.raytracer import render_scene
+    from ..net.serialization import encode_binary
+
+    angle = float(spec["angle"])
+    width = int(spec.get("width", 32))
+    height = int(spec.get("height", 24))
+    pixels = render_scene(angle, width, height)
+    return {
+        "angle": angle,
+        "frame": spec.get("frame"),
+        "pixels": encode_binary(pixels.tobytes()),
+        "shape": list(pixels.shape),
+    }
+
+
+def search_nonces(attempt: Dict[str, Any]) -> Dict[str, Any]:
+    """Test one range of nonces (the crypto application, pool-style)."""
+    from ..apps.crypto import hash_attempt, meets_difficulty
+
+    block = attempt["block"]
+    start, count = int(attempt["start"]), int(attempt["count"])
+    bits = int(attempt.get("difficulty_bits", 18))
+    for nonce in range(start, start + count):
+        if meets_difficulty(hash_attempt(block, nonce), bits):
+            return {
+                "found": True,
+                "nonce": nonce,
+                "height": attempt.get("height", 0),
+                "hashes": nonce - start + 1,
+            }
+    return {
+        "found": False,
+        "nonce": None,
+        "height": attempt.get("height", 0),
+        "hashes": count,
+    }

@@ -31,15 +31,18 @@ from .pull import compose, pull
 from .sources import count, empty, error, from_iterable, infinite, keys, once, values
 from .throughs import (
     batch,
+    batching,
     filter_,
     filter_not,
     flatten,
     map_,
+    map_batches,
     non_unique,
     take,
     tap,
     through,
     unbatch,
+    unbatching,
     unique,
 )
 from .sinks import (
@@ -48,6 +51,7 @@ from .sinks import (
     collect_sync,
     drain,
     drain_sync,
+    eager_pump,
     find,
     log,
     on_end,
@@ -86,15 +90,18 @@ __all__ = [
     "values",
     # throughs
     "batch",
+    "batching",
     "filter_",
     "filter_not",
     "flatten",
     "map_",
+    "map_batches",
     "non_unique",
     "take",
     "tap",
     "through",
     "unbatch",
+    "unbatching",
     "unique",
     # sinks
     "SinkResult",
@@ -102,6 +109,7 @@ __all__ = [
     "collect_sync",
     "drain",
     "drain_sync",
+    "eager_pump",
     "find",
     "log",
     "on_end",

@@ -28,6 +28,7 @@ __all__ = [
     "log",
     "collect_sync",
     "drain_sync",
+    "eager_pump",
 ]
 
 
@@ -120,6 +121,58 @@ def _ask_loop(
             if not answered[0]:
                 # The answer will arrive asynchronously; the ask loop resumes
                 # from within ``answer`` via a fresh call to ``ask``.
+                break
+        state["looping"] = False
+
+    ask()
+
+
+def eager_pump(
+    read: Source,
+    on_value: Callable[[Any], None],
+    on_end: Callable[[End], None],
+    closed_reason: Callable[[], End],
+) -> None:
+    """Eagerly drain *read*, the way a network-channel sink does.
+
+    Channel-style duplex sinks (simulated channels, the process pool) all
+    share this shape: keep asking as fast as the upstream answers, hand each
+    value to ``on_value``, report upstream termination to ``on_end``, and —
+    when ``closed_reason()`` becomes non-``None`` because the local endpoint
+    closed — abort the upstream with that reason, dropping any value whose
+    answer was already in flight (exactly like a message written to a dead
+    socket; StreamLender's fault tolerance re-lends it).  Implemented with
+    the usual re-entrancy trampoline so long synchronous streams do not
+    recurse.
+    """
+    state = {"looping": False, "pending": False}
+
+    def ask() -> None:
+        if state["looping"]:
+            state["pending"] = True
+            return
+        state["looping"] = True
+        state["pending"] = True
+        while state["pending"]:
+            state["pending"] = False
+            reason = closed_reason()
+            if reason is not None:
+                read(reason, lambda _e, _v: None)
+                break
+            answered = [False]
+
+            def answer(end: End, value: Any) -> None:
+                answered[0] = True
+                if end is not None:
+                    on_end(end)
+                    return
+                if closed_reason() is not None:
+                    return  # the value can no longer be delivered; dropped
+                on_value(value)
+                ask()
+
+            read(None, answer)
+            if not answered[0]:
                 break
         state["looping"] = False
 

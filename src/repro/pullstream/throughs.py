@@ -5,12 +5,26 @@ These are the building blocks Pando composes between its sources and sinks:
 ``unbatch`` which implement the input batching used to hide network latency
 in the paper's evaluation (section 5.5), and ``through`` which observes values
 without modifying them.
+
+``batching`` / ``unbatching`` / ``map_batches`` implement *wire framing*: they
+coalesce consecutive values into explicit
+:class:`~repro.net.serialization.Batch` frames (and split them back) so that
+one DATA frame — one scheduler event on the simulated channels, one
+inter-process round trip on the process-pool backend — carries up to
+``batch_size`` values.  Unlike :func:`batch`, ``batching`` never stalls a
+partial chunk behind a blocked upstream: when the next upstream ask does not
+answer synchronously, the values already collected are shipped immediately.
+This matters under ``StreamLender``, which parks borrow asks until another
+sub-stream fails or the stream completes — a greedy ``batch`` would hold
+borrowed values hostage and deadlock the map.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any, Callable, Iterable, Optional
 
+from ..errors import ProtocolError
 from .protocol import DONE, Callback, End, Source, is_error
 
 __all__ = [
@@ -24,6 +38,9 @@ __all__ = [
     "flatten",
     "batch",
     "unbatch",
+    "batching",
+    "unbatching",
+    "map_batches",
     "through",
     "tap",
 ]
@@ -273,6 +290,237 @@ def batch(size: int) -> Callable[[Source], Source]:
 def unbatch() -> Callable[[Source], Source]:
     """Inverse of :func:`batch`: flatten lists back into single values."""
     return flatten()
+
+
+def batching(size: int) -> Callable[[Source], Source]:
+    """Coalesce consecutive values into :class:`Batch` frames of ≤ *size*.
+
+    The through is **non-stalling**: it fills a frame only with values the
+    upstream answers synchronously.  As soon as an upstream ask goes
+    asynchronous (e.g. ``StreamLender`` parked the borrow ask waiting on other
+    sub-streams) any partially-filled frame is shipped immediately, so a
+    borrowed value is never trapped inside the framer — the property that
+    makes this safe to place between a lender sub-stream and a channel.
+    """
+    if size < 1:
+        raise ValueError("batching frame size must be >= 1")
+    # Imported lazily: repro.net imports repro.pullstream back, and Batch is
+    # only needed once a pipeline is wired (all packages loaded by then).
+    from ..net.serialization import Batch
+
+    def wrap(read: Source) -> Source:
+        state = {
+            "chunk": [],      # values collected for the next frame
+            "ended": None,    # upstream termination, delivered after the chunk
+            "asking": False,  # an upstream ask is in flight
+            "waiting": None,  # parked downstream callback
+            "pumping": False,
+        }
+
+        def pump() -> None:
+            if state["pumping"]:
+                return
+            state["pumping"] = True
+            while True:
+                cb = state["waiting"]
+                if cb is None:
+                    break
+                chunk = state["chunk"]
+                if len(chunk) >= size or (
+                    chunk and (state["ended"] is not None or state["asking"])
+                ):
+                    # Frame full, or upstream terminated/blocked: ship now.
+                    state["chunk"] = []
+                    state["waiting"] = None
+                    cb(None, Batch(chunk))
+                    continue
+                if state["ended"] is not None:
+                    state["waiting"] = None
+                    cb(state["ended"], None)
+                    continue
+                if state["asking"]:
+                    break  # empty chunk: wait for the in-flight answer
+                state["asking"] = True
+                read(None, answer)
+            state["pumping"] = False
+
+        def answer(answer_end: End, value: Any) -> None:
+            state["asking"] = False
+            if answer_end is not None:
+                state["ended"] = answer_end
+            else:
+                state["chunk"].append(value)
+            pump()
+
+        def batched(end: End, cb: Callback) -> None:
+            if end is not None:
+                # Downstream abort: drop the chunk and forward upstream (an
+                # abort may be issued even while an ask is in flight).
+                state["chunk"] = []
+                if state["ended"] is None:
+                    state["ended"] = end if is_error(end) else DONE
+                read(end, cb)
+                return
+            if state["waiting"] is not None:
+                cb(ProtocolError("batching asked twice concurrently"), None)
+                return
+            state["waiting"] = cb
+            pump()
+
+        batched.pull_role = "source"
+        return batched
+
+    wrap.pull_role = "through"
+    return wrap
+
+
+def unbatching() -> Callable[[Source], Source]:
+    """Split :class:`Batch` frames back into single values.
+
+    Non-batch values pass through unchanged, so a pipeline mixing framed and
+    bare values (e.g. a worker that answers lone values for lone inputs)
+    still works — and, unlike :func:`unbatch`, list-*valued* results are left
+    intact.
+    """
+    from ..net.serialization import Batch
+
+    def wrap(read: Source) -> Source:
+        buffer: deque = deque()
+        state = {"ended": None}
+
+        def unbatched(end: End, cb: Callback) -> None:
+            if end is not None:
+                buffer.clear()
+                read(end, cb)
+                return
+            if buffer:
+                cb(None, buffer.popleft())
+                return
+            if state["ended"] is not None:
+                cb(state["ended"], None)
+                return
+
+            def answer(answer_end: End, value: Any) -> None:
+                if answer_end is not None:
+                    state["ended"] = answer_end
+                    cb(answer_end, None)
+                    return
+                if isinstance(value, Batch):
+                    if not value.values:  # defensive: skip empty frames
+                        read(None, answer)
+                        return
+                    buffer.extend(value.values)
+                    cb(None, buffer.popleft())
+                    return
+                cb(None, value)
+
+            read(None, answer)
+
+        unbatched.pull_role = "source"
+        return unbatched
+
+    wrap.pull_role = "through"
+    return wrap
+
+
+def map_batches(
+    fn: Callable[[Any, Callable[[Optional[BaseException], Any], None]], None]
+) -> Callable[[Source], Source]:
+    """Worker-side counterpart of :func:`batching`.
+
+    Applies the node-style processing function ``fn(value, cb)`` to every
+    element of incoming :class:`Batch` frames and answers one ``Batch`` of
+    results per input frame (bare values are mapped one-to-one), preserving
+    the one-result-per-frame contract the :class:`~repro.core.limiter.Limiter`
+    relies on.
+    """
+    from ..net.serialization import Batch
+
+    def wrap(read: Source) -> Source:
+        state = {"ended": None}
+
+        def mapped(end: End, cb: Callback) -> None:
+            if end is not None:
+                read(end, cb)
+                return
+            if state["ended"] is not None:
+                cb(state["ended"], None)
+                return
+
+            def fail(exc: BaseException) -> None:
+                state["ended"] = exc
+                read(exc, lambda _e, _v: cb(exc, None))
+
+            def apply_one(value: Any, done: Callback) -> None:
+                answered = [False]
+
+                def node_cb(err: Optional[BaseException], result: Any = None) -> None:
+                    if answered[0]:
+                        return
+                    answered[0] = True
+                    done(err, result)
+
+                try:
+                    fn(value, node_cb)
+                except Exception as exc:
+                    node_cb(exc, None)
+
+            def answer(answer_end: End, value: Any) -> None:
+                if answer_end is not None:
+                    state["ended"] = answer_end
+                    cb(answer_end, None)
+                    return
+                if not isinstance(value, Batch):
+                    apply_one(
+                        value,
+                        lambda err, result: fail(err) if err is not None else cb(None, result),
+                    )
+                    return
+                elements = list(value.values)
+                results: list = []
+                # Trampoline over the elements: synchronous completions loop
+                # instead of recursing, so arbitrarily large frames cannot
+                # blow the call stack.
+                loop_state = {"active": False, "advance": False, "failed": False}
+
+                def proceed() -> None:
+                    if loop_state["active"]:
+                        loop_state["advance"] = True
+                        return
+                    loop_state["active"] = True
+                    loop_state["advance"] = True
+                    while loop_state["advance"] and not loop_state["failed"]:
+                        loop_state["advance"] = False
+                        if len(results) == len(elements):
+                            cb(None, Batch(results))
+                            break
+                        answered = [False]
+
+                        def element_done(
+                            err: Optional[BaseException], result: Any = None
+                        ) -> None:
+                            answered[0] = True
+                            if err is not None:
+                                loop_state["failed"] = True
+                                fail(err)
+                                return
+                            results.append(result)
+                            proceed()
+
+                        apply_one(elements[len(results)], element_done)
+                        if not answered[0]:
+                            break  # async element: resumed from element_done
+                    loop_state["active"] = False
+
+                proceed()
+
+            read(None, answer)
+
+        mapped.pull_role = "source"
+        return mapped
+
+    wrap.pull_role = "through"
+    return wrap
 
 
 def through(

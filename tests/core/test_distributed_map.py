@@ -85,6 +85,47 @@ class TestChannelWorkers:
         assert handle.limiter.limit == 5
 
 
+class TestLateAttachment:
+    """Attaching workers after the map's output finished must fail cleanly
+    (regression: PandoError used to be raised from *inside* the lend_stream
+    callback, after a Limiter had already been wired)."""
+
+    def test_attach_after_output_drained_returns_closed_handle(self, square_fn):
+        dmap = DistributedMap()
+        output = pull(values([1, 2, 3]), dmap, collect())
+        dmap.add_local_worker(square_fn)
+        assert output.result() == [1, 4, 9]
+        assert not dmap.closed  # drained normally, not aborted
+        late = dmap.add_local_worker(square_fn, worker_id="latecomer")
+        assert late.closed
+        assert "latecomer" in dmap.workers
+        assert output.result() == [1, 4, 9]  # output unchanged
+
+    def test_attach_after_abort_raises_before_wiring(self, square_fn):
+        from repro.errors import PandoError
+
+        dmap = DistributedMap()
+        output = pull(count(100), dmap, take(2), collect())
+        dmap.add_local_worker(square_fn)
+        assert output.done
+        assert dmap.closed
+        with pytest.raises(PandoError):
+            dmap.add_local_worker(square_fn, worker_id="too-late")
+        assert "too-late" not in dmap.workers
+
+    def test_attach_channel_after_abort_raises(self):
+        from repro.errors import PandoError
+
+        dmap = DistributedMap()
+        output = pull(count(100), dmap, take(1), collect())
+        dmap.add_local_worker(lambda v, cb: cb(None, v))
+        assert output.done
+        local_end, _remote_end = duplex_pair()
+        with pytest.raises(PandoError):
+            dmap.add_channel(local_end, worker_id="too-late")
+        assert "too-late" not in dmap.workers
+
+
 class TestInspection:
     def test_active_workers_and_stats(self, square_fn):
         dmap = DistributedMap()

@@ -112,6 +112,72 @@ class TestCrashRecovery:
         assert lender.stats.substreams_failed == 1
 
 
+class TestAbortCleanup:
+    """Regression: a downstream abort must close sub-streams through the
+    regular cleanup path so the conservativeness invariant
+    ``values_lent == results_delivered + relendable + outstanding``
+    holds afterwards and the failure counters stay truthful."""
+
+    def _assert_balanced(self, lender):
+        stats = lender.stats
+        assert stats.values_lent == (
+            stats.results_delivered + lender.relendable + lender.outstanding
+        )
+
+    def test_abort_recycles_borrowed_values(self, substream_driver):
+        lender = StreamLender()
+        source = lender(values(list(range(10))))
+        sub_box = []
+        lender.lend_stream(lambda err, sub: sub_box.append(sub))
+        holder = substream_driver(
+            sub_box[0], auto_deliver=False, max_in_flight=4
+        ).start()
+        assert lender.outstanding == 4
+        source(DONE, lambda _end, _value: None)  # downstream abort
+        assert lender.outstanding == 0
+        assert lender.relendable == 4
+        assert sub_box[0].closed
+        self._assert_balanced(lender)
+
+    def test_abort_counts_graceful_closes(self, substream_driver):
+        lender = StreamLender()
+        source = lender(values(list(range(6))))
+        subs = [lend(lender) for _ in range(3)]
+        for sub in subs:
+            substream_driver(sub, auto_deliver=False).start()
+        source(DONE, lambda _end, _value: None)
+        assert lender.stats.substreams_closed == 3
+        assert lender.stats.substreams_failed == 0
+        self._assert_balanced(lender)
+
+    def test_error_abort_counts_failures(self, substream_driver):
+        """An erroring abort crash-stops the open sub-streams: they must be
+        counted as failed, not as gracefully closed."""
+        lender = StreamLender()
+        source = lender(values(list(range(6))))
+        substream_driver(lend(lender), auto_deliver=False, max_in_flight=2).start()
+        source(RuntimeError("downstream exploded"), lambda _end, _value: None)
+        assert lender.stats.substreams_failed == 1
+        assert lender.stats.substreams_closed == 0
+        assert lender.outstanding == 0
+        self._assert_balanced(lender)
+
+    def test_abort_after_partial_delivery(self, substream_driver):
+        lender = StreamLender()
+        output_box = []
+        source = lender(values(list(range(8))))
+        driver_sub = lend(lender)
+        driver = substream_driver(driver_sub, auto_deliver=False, max_in_flight=3)
+        driver.start()
+        # Pull two results downstream, then abort with work outstanding.
+        driver.deliver_all()
+        source(None, lambda end, value: output_box.append((end, value)))
+        assert output_box and output_box[0][0] is None
+        source(DONE, lambda _end, _value: None)
+        assert lender.outstanding == 0
+        self._assert_balanced(lender)
+
+
 class TestCrashTiming:
     @pytest.mark.parametrize("crash_after", [0, 1, 2, 3, 5, 7])
     def test_crash_at_every_point_still_completes(self, substream_driver, crash_after):

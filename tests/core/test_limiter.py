@@ -115,3 +115,56 @@ class TestLimiterEndToEnd:
             output = pull(values(list(range(12))), dmap, collect())
             dmap.add_local_worker(lambda v, cb: cb(None, v * 3))
             assert output.result() == [value * 3 for value in range(12)]
+
+
+class TestGatedAskRelease:
+    """Regression: a gated ask parked while the window was full must be
+    answered when the channel's result stream terminates — otherwise the
+    channel sink waits forever and the callback leaks."""
+
+    def test_gated_ask_failed_on_source_error(self):
+        channel, received, results = make_manual_channel()
+        limiter = Limiter(channel, limit=2)
+        output = pull(values(list(range(10))), limiter, collect())
+        assert received == [0, 1]
+        assert limiter._gated_ask is not None  # window full, sink ask parked
+        results.error(RuntimeError("worker died"))
+        assert output.done
+        assert isinstance(output.end, RuntimeError)
+        assert limiter._gated_ask is None
+
+    def test_gated_ask_released_on_source_done(self):
+        channel, received, results = make_manual_channel()
+        limiter = Limiter(channel, limit=1)
+        output = pull(values([1, 2, 3]), limiter, collect())
+        assert received == [1]
+        assert limiter._gated_ask is not None
+        results.push("r1")
+        results.end()  # the worker stops answering after one result
+        assert output.done
+        assert limiter._gated_ask is None
+
+    def test_gated_ask_released_when_sim_channel_crashes(self, scheduler, network):
+        """Full stack: the volunteer endpoint crash-stops, the heartbeat
+        timeout errors the master-side source, and the Limiter must fail its
+        parked gated ask instead of leaking it."""
+        from repro.errors import ConnectionClosed
+        from repro.net.channel import SimChannel
+
+        channel = SimChannel(
+            scheduler, network, "master", "volunteer",
+            heartbeat_interval=0.5, heartbeat_timeout=1.5,
+        )
+        connected = []
+        channel.connect(lambda err, ch: connected.append(err))
+        scheduler.run(until=lambda: bool(connected))
+        # No worker on the far side: the first value is sent, the window
+        # fills, and the next sink ask parks behind the gate.
+        limiter = Limiter(channel.local.duplex, limit=1)
+        output = pull(values(list(range(5))), limiter, collect())
+        assert limiter.in_flight == 1
+        assert limiter._gated_ask is not None
+        channel.remote.crash()
+        scheduler.run(until=lambda: output.done)
+        assert isinstance(output.end, ConnectionClosed)
+        assert limiter._gated_ask is None

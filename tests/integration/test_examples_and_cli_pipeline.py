@@ -53,6 +53,14 @@ class TestExamples:
         )
         assert "blurred 6 tiles" in stdout
 
+    def test_parallel_raytrace_small(self):
+        stdout = run_example(
+            "parallel_raytrace.py", "--frames", "4", "--size", "8x6",
+            "--processes", "2",
+        )
+        assert "rendered 4 frames" in stdout
+        assert "2 processes" in stdout
+
 
 class TestUnixPipeline:
     """The full Figure-3 pipeline via the console-script entry points."""
@@ -84,3 +92,19 @@ class TestUnixPipeline:
         summary = json.loads(encoded.stdout.strip().splitlines()[-1])
         assert summary["frames"] == 3
         assert summary["angles"] == sorted(summary["angles"])
+
+    def test_pool_backend_matches_local_backend(self):
+        """`pando --backend pool` produces the same outputs as the default."""
+        env = dict(os.environ)
+        outputs = {}
+        for backend in ("local", "pool"):
+            completed = subprocess.run(
+                [sys.executable, "-c",
+                 "from repro.cli.pando_cli import main; "
+                 f"raise SystemExit(main(['--app', 'collatz', '--count', '6', "
+                 f"'--backend', '{backend}', '--workers', '2']))"],
+                capture_output=True, text=True, env=env,
+            )
+            assert completed.returncode == 0, completed.stderr
+            outputs[backend] = completed.stdout
+        assert outputs["pool"] == outputs["local"]

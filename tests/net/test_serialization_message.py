@@ -96,3 +96,31 @@ class TestMessage:
         first = Message.data(1)
         second = Message.data(2)
         assert second.seq > first.seq
+
+
+class TestBatchFrames:
+    """Batch frames: explicit marker type and wire-size accounting."""
+
+    def test_equality_is_by_contents(self):
+        from repro.net.serialization import Batch
+
+        assert Batch([1, {"a": 2}]) == Batch([1, {"a": 2}])
+        assert Batch([1]) != Batch([2])
+
+    def test_size_includes_overhead(self):
+        from repro.net.serialization import (
+            BATCH_FRAME_OVERHEAD,
+            Batch,
+            estimate_size,
+        )
+
+        batch = Batch([{"size_bytes": 100}, {"size_bytes": 200}])
+        assert estimate_size(batch) == BATCH_FRAME_OVERHEAD + 300
+
+    def test_batch_is_not_a_plain_list(self):
+        from repro.net.serialization import Batch
+
+        batch = Batch([1, 2])
+        assert batch != [1, 2]
+        assert list(batch) == [1, 2]
+        assert len(batch) == 2

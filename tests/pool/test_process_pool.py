@@ -1,0 +1,211 @@
+"""Tests for the process-pool execution backend."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import DistributedMap
+from repro.errors import PandoError
+from repro.pool import ProcessPoolWorker, default_window, resolve_callable
+from repro.pool.tasks import expects_callback, run_batch, run_task
+from repro.pullstream import collect, pull, values
+
+
+def node_increment(value, cb):
+    """Module-level node-style function (picklable)."""
+    cb(None, value + 1)
+
+
+def failing_task(value):
+    raise RuntimeError(f"cannot process {value!r}")
+
+
+class TestFunctionRefs:
+    def test_resolve_colon_reference(self):
+        fn = resolve_callable("repro.pool.workloads:square")
+        assert fn(6) == 36
+
+    def test_resolve_dotted_reference(self):
+        fn = resolve_callable("repro.pool.workloads.square")
+        assert fn(6) == 36
+
+    def test_resolve_callable_passthrough(self):
+        assert resolve_callable(node_increment) is node_increment
+
+    def test_resolve_file_reference(self, tmp_path):
+        module = tmp_path / "triple.py"
+        module.write_text("def pando(value, cb):\n    cb(None, value * 3)\n")
+        fn = resolve_callable(("file", str(module)))
+        box = []
+        fn(4, lambda err, result: box.append((err, result)))
+        assert box == [(None, 12)]
+
+    def test_unresolvable_reference_raises(self):
+        with pytest.raises(PandoError):
+            resolve_callable("repro.pool.workloads:does_not_exist")
+        with pytest.raises(PandoError):
+            resolve_callable(12345)
+
+    def test_convention_detection(self):
+        assert expects_callback(node_increment)
+        assert not expects_callback(resolve_callable("repro.pool.workloads:square"))
+
+    def test_run_task_supports_both_conventions(self):
+        assert run_task("repro.pool.workloads:square", 5) == 25
+        assert run_task(node_increment, 5) == 6
+
+    def test_run_batch_preserves_order(self):
+        assert run_batch("repro.pool.workloads:square", [1, 2, 3]) == [1, 4, 9]
+
+    def test_node_style_error_is_raised(self):
+        def bad(value, cb):
+            cb(ValueError("nope"), None)
+
+        with pytest.raises(ValueError):
+            run_task(bad, 1)
+
+
+class TestProcessPoolWorker:
+    def test_unpicklable_callable_fails_fast(self):
+        with pytest.raises(PandoError):
+            ProcessPoolWorker(lambda v: v)
+
+    def test_default_window_covers_the_pool(self):
+        assert default_window(4) == 5
+        assert default_window(1) == 2
+
+    def test_close_is_idempotent(self):
+        pool = ProcessPoolWorker("repro.pool.workloads:echo", processes=1)
+        pool.close()
+        pool.close()
+        assert pool.closed
+
+
+class TestDistributedMapPoolBackend:
+    def test_results_in_input_order(self):
+        dmap = DistributedMap(batch_size=3)
+        output = pull(values(list(range(20))), dmap, collect())
+        handle = dmap.add_process_pool("repro.pool.workloads:square", processes=2)
+        try:
+            assert output.result() == [value * value for value in range(20)]
+        finally:
+            dmap.close()
+        assert handle.pool.values_dispatched == 20
+        assert handle.pool.results_returned == 20
+        # 20 values in frames of <= 3
+        assert handle.pool.tasks_submitted == 7
+
+    def test_node_style_function(self):
+        dmap = DistributedMap(batch_size=2)
+        output = pull(values([1, 2, 3, 4]), dmap, collect())
+        dmap.add_process_pool(node_increment, processes=2)
+        try:
+            assert output.result() == [2, 3, 4, 5]
+        finally:
+            dmap.close()
+
+    def test_unbatched_frames(self):
+        dmap = DistributedMap(batch_size=1)
+        output = pull(values(list(range(6))), dmap, collect())
+        handle = dmap.add_process_pool("repro.pool.workloads:echo", processes=1)
+        try:
+            assert output.result() == list(range(6))
+        finally:
+            dmap.close()
+        assert handle.pool.tasks_submitted == 6
+
+    def test_task_failure_is_a_worker_crash(self):
+        """A raising task closes the pool sub-stream; borrowed values are
+        re-lent and a healthy worker completes the stream (the same
+        containment as a crashing browser tab)."""
+        dmap = DistributedMap(batch_size=2)
+        output = pull(values(list(range(6))), dmap, collect())
+        handle = dmap.add_process_pool(failing_task, processes=1)
+        assert handle.closed
+        assert not output.done
+        assert dmap.lender.relendable >= 1
+        assert dmap.stats.substreams_failed == 1
+        dmap.add_local_worker(lambda v, cb: cb(None, v))
+        try:
+            assert output.result() == list(range(6))
+        finally:
+            dmap.close()
+
+    def test_mixed_pool_and_local_workers(self):
+        dmap = DistributedMap(batch_size=2)
+        output = pull(values(list(range(24))), dmap, collect())
+        dmap.add_process_pool("repro.pool.workloads:square", processes=2)
+        dmap.add_local_worker(lambda v, cb: cb(None, v * v))
+        try:
+            assert output.result() == [value * value for value in range(24)]
+        finally:
+            dmap.close()
+
+    def test_stats_balance_after_pool_run(self):
+        dmap = DistributedMap(batch_size=4)
+        output = pull(values(list(range(17))), dmap, collect())
+        dmap.add_process_pool("repro.pool.workloads:echo", processes=2)
+        try:
+            output.result()
+        finally:
+            dmap.close()
+        stats = dmap.stats
+        assert stats.values_lent == (
+            stats.results_delivered + dmap.lender.relendable + dmap.lender.outstanding
+        )
+        assert stats.results_delivered == 17
+
+    def test_file_reference_backend(self, tmp_path):
+        module = tmp_path / "double.py"
+        module.write_text(
+            "exports = {'/pando/1.0.0': lambda value, cb: cb(None, value * 2)}\n"
+        )
+        dmap = DistributedMap(batch_size=2)
+        output = pull(values([1, 2, 3]), dmap, collect())
+        dmap.add_process_pool(("file", str(module)), processes=1)
+        try:
+            assert output.result() == [2, 4, 6]
+        finally:
+            dmap.close()
+
+    def test_close_with_parked_result_ask_closes_substream(self):
+        """Regression: close() while the pool source waits for input must
+        answer the parked ask so the sub-stream closes and later values are
+        lent to live workers instead of being stranded."""
+        from repro.pullstream import pushable
+
+        source = pushable()
+        dmap = DistributedMap(batch_size=1)
+        output = pull(source, dmap, collect())
+        handle = dmap.add_process_pool("repro.pool.workloads:echo", processes=1)
+        assert not handle.closed  # parked, waiting for the first input
+        dmap.close()
+        assert handle.closed
+        source.push(1)
+        dmap.add_local_worker(lambda v, cb: cb(None, v))
+        source.end()
+        assert output.result() == [1]
+        assert dmap.lender.outstanding == 0
+
+    def test_invalid_window_does_not_leak_the_pool(self):
+        dmap = DistributedMap()
+        pull(values([1]), dmap, collect())
+        with pytest.raises(ValueError):
+            dmap.add_process_pool(
+                "repro.pool.workloads:echo", processes=1, window=0
+            )
+        assert dmap._pools == []
+        assert dmap.workers == {}
+
+    def test_attach_after_abort_raises_without_spawning(self):
+        from repro.pullstream import count, take
+
+        dmap = DistributedMap()
+        output = pull(count(100), dmap, take(2), collect())
+        dmap.add_local_worker(lambda v, cb: cb(None, v))
+        assert output.done
+        with pytest.raises(PandoError):
+            dmap.add_process_pool("repro.pool.workloads:echo", processes=1)
+        assert dmap._pools == []

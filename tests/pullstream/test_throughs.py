@@ -156,3 +156,95 @@ class TestCompose:
     def test_pull_without_source_returns_through(self):
         partial = pull(map_(lambda v: v + 1), filter_(lambda v: v > 2))
         assert pull(count(4), partial, collect()).result() == [3, 4, 5]
+
+
+class TestBatchingFrames:
+    """Wire framing: batching / unbatching / map_batches."""
+
+    def test_full_frames_on_synchronous_source(self):
+        from repro.net.serialization import Batch
+        from repro.pullstream import batching
+
+        frames = pull(values(list(range(10))), batching(4), collect()).result()
+        assert all(isinstance(frame, Batch) for frame in frames)
+        assert [list(frame) for frame in frames] == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+
+    def test_roundtrip_through_unbatching(self):
+        from repro.pullstream import batching, unbatching
+
+        result = pull(
+            values(list(range(23))), batching(5), unbatching(), collect()
+        ).result()
+        assert result == list(range(23))
+
+    def test_list_valued_elements_survive_roundtrip(self):
+        """Unlike unbatch(), unbatching() must not flatten list *values*."""
+        from repro.pullstream import batching, unbatching
+
+        items = [[1, 2], [3], [], [4, 5, 6]]
+        result = pull(values(items), batching(3), unbatching(), collect()).result()
+        assert result == items
+
+    def test_partial_frame_flushes_when_upstream_blocks(self):
+        """A value must never be trapped in the framer while upstream parks.
+
+        With a push-based upstream every ask goes asynchronous, so each value
+        is flushed as a one-element frame the moment the next ask parks —
+        framing degrades gracefully instead of deadlocking (the StreamLender
+        waitOnOthers scenario).
+        """
+        from repro.pullstream import batching, pushable
+
+        upstream = pushable()
+        sink = pull(upstream, batching(4), collect())
+        upstream.push(1)
+        upstream.push(2)
+        upstream.push(3)
+        upstream.end()
+        assert [list(frame) for frame in sink.result()] == [[1], [2], [3]]
+
+    def test_invalid_size(self):
+        from repro.pullstream import batching
+
+        with pytest.raises(ValueError):
+            batching(0)
+
+    def test_error_propagates(self):
+        from repro.pullstream import batching, unbatching
+        from repro.pullstream import error as error_source
+
+        result = pull(error_source(RuntimeError("boom")), batching(2), collect())
+        assert isinstance(result.end, RuntimeError)
+
+    def test_map_batches_applies_per_element(self):
+        from repro.net.serialization import Batch
+        from repro.pullstream import batching, map_batches, unbatching
+
+        result = pull(
+            values(list(range(9))),
+            batching(4),
+            map_batches(lambda v, cb: cb(None, v * 2)),
+            unbatching(),
+            collect(),
+        ).result()
+        assert result == [v * 2 for v in range(9)]
+
+    def test_map_batches_passes_bare_values(self):
+        from repro.pullstream import map_batches
+
+        result = pull(
+            values([1, 2, 3]), map_batches(lambda v, cb: cb(None, v + 1)), collect()
+        ).result()
+        assert result == [2, 3, 4]
+
+    def test_map_batches_error_fails_stream(self):
+        from repro.pullstream import batching, map_batches
+
+        def failing(value, cb):
+            if value == 2:
+                cb(RuntimeError("bad"), None)
+            else:
+                cb(None, value)
+
+        result = pull(values([1, 2, 3]), batching(2), map_batches(failing), collect())
+        assert isinstance(result.end, RuntimeError)

@@ -11,4 +11,5 @@ export REPRO_BENCH_FAST=1
 python -m pytest \
     benchmarks/bench_core_micro.py \
     benchmarks/bench_pool_speedup.py \
+    benchmarks/bench_shard_scaling.py \
     -q --benchmark-disable "$@"

@@ -31,6 +31,8 @@ __all__ = [
     "cores_needed_to_match",
     "BackendComparison",
     "compare_backends",
+    "ShardingComparison",
+    "compare_sharding",
 ]
 
 
@@ -205,4 +207,111 @@ def compare_backends(
         local_seconds=local_seconds,
         pool_seconds=pool_seconds,
         results_match=local_results == pool_results,
+    )
+
+
+# --------------------------------------------------------------------------
+# Master topologies: one ordering domain vs. a sharded multi-master.
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ShardingComparison:
+    """Measured wall-clock of a single master vs. a sharded master.
+
+    Both arms get the same resources — *shards* process pools of
+    *processes_per_pool* each — so the difference is purely the master
+    topology: one ``StreamLender`` whose blocking head-of-line drain
+    serialises the pools, against a ``ShardedLender`` whose non-blocking
+    pools pump concurrently under ``DistributedMap.drive``.
+    """
+
+    workload: str
+    values: int
+    shards: int
+    processes_per_pool: int
+    batch_size: int
+    single_master_seconds: float
+    sharded_seconds: float
+    results_match: bool
+    #: results delivered by each shard of the sharded arm
+    per_shard_delivered: List[int]
+
+    @property
+    def speedup(self) -> float:
+        """Sharded-master speedup over the single-master topology."""
+        if self.sharded_seconds <= 0:
+            return float("inf")
+        return self.single_master_seconds / self.sharded_seconds
+
+
+def compare_sharding(
+    fn_ref: Any,
+    inputs: Iterable[Any],
+    shards: int = 2,
+    processes_per_pool: int = 1,
+    batch_size: int = 2,
+    window: Optional[int] = None,
+    workload: Optional[str] = None,
+) -> ShardingComparison:
+    """Run *inputs* through a single master, then through a sharded one.
+
+    Each arm attaches *shards* process pools.  On the single master they
+    share one ordering domain: the first pool's blocking result drain
+    monopolises the interpreter thread, so the later pools idle (today's
+    multi-pool behaviour).  On the sharded master each pool serves its own
+    shard in non-blocking mode and all of them pump concurrently.  Both
+    runs include pool start-up, which is the honest number a user
+    experiences.
+    """
+    from ..core.distributed_map import DistributedMap
+    from ..pullstream import collect, pull, values
+
+    items = list(inputs)
+
+    start = time.perf_counter()
+    single = DistributedMap(batch_size=max(1, batch_size))
+    single_sink = pull(values(items), single, collect())
+    try:
+        for _ in range(shards):
+            single.add_process_pool(
+                fn_ref,
+                processes=processes_per_pool,
+                batch_size=batch_size,
+                window=window,
+            )
+        single_results = single_sink.result()
+    finally:
+        single.close()
+    single_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sharded = DistributedMap(batch_size=max(1, batch_size), shards=shards)
+    sharded_sink = pull(values(items), sharded, collect())
+    try:
+        for _ in range(shards):
+            sharded.add_process_pool(
+                fn_ref,
+                processes=processes_per_pool,
+                batch_size=batch_size,
+                window=window,
+            )
+        sharded.drive(sharded_sink)
+        sharded_results = sharded_sink.result()
+    finally:
+        sharded.close()
+    sharded_seconds = time.perf_counter() - start
+
+    return ShardingComparison(
+        workload=workload or repr(fn_ref),
+        values=len(items),
+        shards=shards,
+        processes_per_pool=processes_per_pool,
+        batch_size=batch_size,
+        single_master_seconds=single_seconds,
+        sharded_seconds=sharded_seconds,
+        results_match=single_results == sharded_results,
+        per_shard_delivered=[
+            stats.results_delivered for stats in sharded.per_shard_stats
+        ],
     )

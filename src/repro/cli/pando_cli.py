@@ -85,6 +85,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend pool, also the number of values coalesced per frame",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="number of master shards (multi-master): the input is "
+        "round-robin split across this many independent lenders and merged "
+        "back in input order; with --backend pool, one pool is attached per "
+        "shard and they pump concurrently",
+    )
+    parser.add_argument(
         "--unordered",
         action="store_true",
         help="release results in completion order instead of input order",
@@ -111,6 +120,18 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _pool_sizes(workers: int, pools: int) -> List[int]:
+    """Split *workers* processes across *pools* pools, remainder first.
+
+    Every pool gets at least one process (a shard cannot be served by an
+    empty pool), so the total is ``max(workers, pools)`` — never silently
+    less than requested.
+    """
+    workers = max(1, workers)
+    base, remainder = divmod(workers, pools)
+    return [max(1, base + (1 if index < remainder else 0)) for index in range(pools)]
+
+
 def _read_stdin(as_json: bool) -> Iterator[Any]:
     for line in sys.stdin:
         line = line.rstrip("\n")
@@ -135,6 +156,7 @@ def run_pipeline(
     ordered: bool = True,
     backend: str = "local",
     fn_ref: Any = None,
+    shards: int = 1,
 ) -> List[Any]:
     """Run the distributed map and return the results.
 
@@ -143,19 +165,32 @@ def run_pipeline(
     pool of *workers* OS processes executing *fn_ref* (any reference accepted
     by :func:`repro.pool.tasks.resolve_callable`, defaulting to the bundle's
     function, which must then be picklable).
+
+    With ``shards > 1`` the master is sharded: the pool backend attaches one
+    pool per shard (splitting *workers* processes between them, remainder
+    first, at least one each) and drives them concurrently; the local
+    backend attaches at least one worker per shard so every shard is served.
     """
-    dmap = DistributedMap(ordered=ordered, batch_size=batch_size)
+    dmap = DistributedMap(ordered=ordered, batch_size=batch_size, shards=shards)
     sink = pull(from_iterable(inputs), dmap, collect())
     try:
         if backend == "pool":
-            dmap.add_process_pool(
-                fn_ref if fn_ref is not None else bundle.function,
-                processes=max(1, workers),
-                batch_size=batch_size,
-            )
+            for processes in _pool_sizes(workers, max(1, shards)):
+                dmap.add_process_pool(
+                    fn_ref if fn_ref is not None else bundle.function,
+                    processes=processes,
+                    batch_size=batch_size,
+                )
         else:
-            for _ in range(max(1, workers)):
+            for _ in range(max(1, workers, shards)):
                 dmap.add_local_worker(bundle.apply)
+        if backend == "pool":
+            # Only pools need pumping.  A local-backend run that has not
+            # completed (every worker crash-stopped) is the ordinary
+            # "master waits for more volunteers" state, which sink.result()
+            # below reports accurately — drive()'s pool-stall diagnostic
+            # would misattribute it to pools/shards that do not exist.
+            dmap.drive(sink)
         return sink.result()
     finally:
         dmap.close()
@@ -194,6 +229,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("either a module file or --app is required")
         return 2  # pragma: no cover - parser.error raises
 
+    if args.shards < 1:
+        parser.error("--shards must be >= 1")
+        return 2  # pragma: no cover - parser.error raises
+    if args.shards > 1 and args.unordered:
+        parser.error("--shards requires ordered output (drop --unordered)")
+        return 2  # pragma: no cover - parser.error raises
+    if args.shards > 1 and args.simulate is not None:
+        parser.error("--simulate does not support --shards (simulated "
+                     "deployments run a single master)")
+        return 2  # pragma: no cover - parser.error raises
+
     stderr.write(f"Serving volunteer code at http://127.0.0.1:{args.port}\n")
 
     if args.simulate is not None:
@@ -222,6 +268,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         ordered=not args.unordered,
         backend=args.backend,
         fn_ref=fn_ref,
+        shards=args.shards,
     )
     for result in results:
         _emit(result, sys.stdout)

@@ -10,14 +10,17 @@ channels, or plain in-process workers for testing).
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Dict, List, Optional
 
 from ..errors import PandoError
 from ..pullstream import async_map, batching, pull, unbatching
 from ..pullstream.duplex import Duplex
 from ..pullstream.protocol import Source
+from ..pullstream.sinks import SinkResult
 from .lender import StreamLender, SubStream, UnorderedStreamLender
 from .limiter import Limiter
+from .sharding import ShardedLender
 
 __all__ = ["DistributedMap", "WorkerHandle"]
 
@@ -41,6 +44,9 @@ class WorkerHandle:
         #: the :class:`~repro.pool.process_pool.ProcessPoolWorker` backing
         #: this worker, when the process-pool backend is used
         self.pool = pool
+        #: index of the lender shard this worker was placed on (0 when the
+        #: map is not sharded)
+        self.shard = getattr(substream, "shard", 0)
 
     @property
     def closed(self) -> bool:
@@ -70,18 +76,40 @@ class DistributedMap:
     the backend that realises the paper's observation that Pando "trivially
     enables parallel processing on multicore architectures" at full hardware
     speed).
+
+    With ``shards=N`` the map becomes a **multi-master**: the input is
+    round-robin split across N independent
+    :class:`~repro.core.sharding.ShardedLender` shards (each its own reorder
+    buffer, failure queue and stats) and the outputs are merged back in
+    global input order.  Workers are placed on the least-loaded shard, and
+    process pools default to non-blocking delivery so that several of them
+    pump concurrently under :meth:`drive` instead of serialising behind one
+    blocking head-of-line drain.
     """
 
     pull_role = "through"
 
-    def __init__(self, ordered: bool = True, batch_size: int = 1) -> None:
+    def __init__(
+        self, ordered: bool = True, batch_size: int = 1, shards: int = 1
+    ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
         self.ordered = ordered
         self.batch_size = batch_size
-        self.lender: StreamLender = (
-            StreamLender() if ordered else UnorderedStreamLender()
-        )
+        self.shards = shards
+        if shards > 1:
+            if not ordered:
+                raise PandoError(
+                    "sharded DistributedMap requires ordered=True (the merge "
+                    "reconstructs global input order; unordered multi-master "
+                    "merging is not implemented)"
+                )
+            #: the single lender or the sharded multi-master composition
+            self.lender: Any = ShardedLender(shards)
+        else:
+            self.lender = StreamLender() if ordered else UnorderedStreamLender()
         self._workers: Dict[str, WorkerHandle] = {}
         self._pools: List[Any] = []
         self._counter = 0
@@ -113,9 +141,10 @@ class DistributedMap:
         frames, not values.
 
         Raises :class:`~repro.errors.PandoError` — before any wiring — when
-        the map's output has already terminated (see :meth:`closed`).
+        the map's output has already terminated (see :meth:`closed`) or when
+        *worker_id* is already attached.
         """
-        worker_id = worker_id or self._next_worker_id()
+        worker_id = self._claim_worker_id(worker_id)
         # Construct the Limiter (which validates the window) before lending a
         # sub-stream, so an invalid batch_size cannot leave a phantom open
         # sub-stream behind.
@@ -138,9 +167,10 @@ class DistributedMap:
         ``fn(value, cb)`` with ``cb(err, result)`` (paper Figure 2).
 
         Raises :class:`~repro.errors.PandoError` — before any wiring — when
-        the map's output has already terminated (see :meth:`closed`).
+        the map's output has already terminated (see :meth:`closed`) or when
+        *worker_id* is already attached.
         """
-        worker_id = worker_id or self._next_worker_id()
+        worker_id = self._claim_worker_id(worker_id)
         sub = self._lend_substream(worker_id)
         pull(sub.source, async_map(fn), sub.sink)
         handle = WorkerHandle(worker_id, sub, None)
@@ -155,6 +185,7 @@ class DistributedMap:
         window: Optional[int] = None,
         worker_id: Optional[str] = None,
         task_timeout: Optional[float] = None,
+        blocking: Optional[bool] = None,
     ) -> WorkerHandle:
         """Attach a pool of OS processes executing *fn_ref* in parallel.
 
@@ -171,14 +202,27 @@ class DistributedMap:
         parallelism through a single sub-stream, while crash-stop semantics
         (a task error or a killed worker process) remain exactly those of a
         remote channel: the sub-stream fails and borrowed values are re-lent.
+
+        ``blocking`` selects the pool's result-delivery mode and defaults to
+        the map's: on a sharded map (``shards > 1``) pools are non-blocking,
+        so several of them can pump concurrently under :meth:`drive`; on a
+        single-master map the source blocks on the head-of-line future and
+        no drive loop is needed.
         """
         from ..pool import ProcessPoolWorker, default_window
 
-        worker_id = worker_id or self._next_worker_id()
+        worker_id = self._claim_worker_id(worker_id)
+        if blocking is None:
+            blocking = self.shards == 1
         # The executor spawns its processes lazily, so creating the pool
         # before the late-attachment check in _lend_substream costs nothing;
         # on failure it is closed before the error propagates.
-        pool = ProcessPoolWorker(fn_ref, processes=processes, task_timeout=task_timeout)
+        pool = ProcessPoolWorker(
+            fn_ref,
+            processes=processes,
+            task_timeout=task_timeout,
+            blocking=blocking,
+        )
         try:
             frame = batch_size if batch_size is not None else self.batch_size
             limiter = Limiter(
@@ -195,6 +239,22 @@ class DistributedMap:
         return handle
 
     # ------------------------------------------------------------ internals
+    def _claim_worker_id(self, worker_id: Optional[str]) -> str:
+        """Validate an explicit worker id (or generate one).
+
+        A duplicate id would silently overwrite the existing
+        :class:`WorkerHandle`, orphaning its sub-stream from inspection and
+        ``in_flight`` accounting — so it is rejected up front, before any
+        wiring or pool spawning.
+        """
+        if worker_id is None:
+            return self._next_worker_id()
+        if worker_id in self._workers:
+            raise PandoError(
+                f"worker id {worker_id!r} is already attached to this map"
+            )
+        return worker_id
+
     def _lend_substream(self, worker_id: str) -> SubStream:
         """Create the sub-stream for a new worker, failing cleanly when the
         map's output has already terminated (late attachment)."""
@@ -223,6 +283,58 @@ class DistributedMap:
             pull(sub.source, batching(frame_batch), limiter, unbatching(), sub.sink)
         else:
             pull(sub.source, limiter, sub.sink)
+
+    # ------------------------------------------------------------ pumping
+    def drive(
+        self,
+        *sinks: SinkResult,
+        timeout: Optional[float] = None,
+        poll_interval: float = 0.05,
+    ) -> None:
+        """Pump the attached non-blocking process pools until *sinks* complete.
+
+        Non-blocking pools (the default on a sharded map) park their result
+        asks instead of blocking the interpreter thread on the head-of-line
+        future, so somebody must deliver completed futures back into the
+        stream machinery.  This loop is that somebody: it waits on the pools'
+        head futures (first-completed), polls every pool, and repeats until
+        each given :class:`~repro.pullstream.sinks.SinkResult` is done.  All
+        stream callbacks run on the calling thread, so the single-threaded
+        pull-stream machinery needs no locks — only the ``future.result()``
+        waits overlap, which is exactly where the compute time is.
+
+        A map with only blocking pools or local workers completes during
+        attachment; calling ``drive`` afterwards returns immediately.
+
+        Raises :class:`~repro.errors.PandoError` when *timeout* (seconds)
+        elapses, or when no pool can make progress while a sink is still
+        pending (e.g. a shard whose input cannot be processed because no
+        worker serves it).
+        """
+        from concurrent.futures import FIRST_COMPLETED
+        from concurrent.futures import wait as wait_futures
+
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not all(sink.done for sink in sinks):
+            if deadline is not None and time.monotonic() > deadline:
+                raise PandoError("DistributedMap.drive timed out")
+            progressed = False
+            for pool in self._pools:
+                progressed = pool.poll() or progressed
+            if progressed or all(sink.done for sink in sinks):
+                continue
+            futures = [
+                pool.head_future
+                for pool in self._pools
+                if pool.waiting and pool.head_future is not None
+            ]
+            if not futures:
+                raise PandoError(
+                    "DistributedMap.drive stalled: the sink has not completed "
+                    "and no attached pool has a deliverable result (is every "
+                    "shard served by at least one worker?)"
+                )
+            wait_futures(futures, timeout=poll_interval, return_when=FIRST_COMPLETED)
 
     # ------------------------------------------------------------ lifecycle
     @property
@@ -264,9 +376,25 @@ class DistributedMap:
         """The underlying :class:`~repro.core.lender.LenderStats`."""
         return self.lender.stats
 
+    @property
+    def per_shard_stats(self):
+        """Per-shard :class:`~repro.core.lender.LenderStats`, uniformly.
+
+        A one-element list on an unsharded map, so reporting code does not
+        need to care which lender topology backs the map.
+        """
+        if self.shards > 1:
+            return self.lender.shard_stats
+        return [self.lender.stats]
+
     def _next_worker_id(self) -> str:
-        self._counter += 1
-        return f"worker-{self._counter}"
+        # Skip ids an explicit attach already took, so a generated id can
+        # never silently overwrite an existing handle either.
+        while True:
+            self._counter += 1
+            worker_id = f"worker-{self._counter}"
+            if worker_id not in self._workers:
+                return worker_id
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

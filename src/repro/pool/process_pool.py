@@ -23,6 +23,13 @@ so later frames keep computing in other processes while the head of line is
 awaited.  A task that raises — including a crashed worker process
 (``BrokenProcessPool``) — errors the result stream, which ``StreamLender``
 treats as a crash-stop failure and re-lends the borrowed values elsewhere.
+
+With ``blocking=False`` the source never blocks: an ask whose head-of-line
+future is still running is parked, and a driver (the sharded master's
+:meth:`~repro.core.distributed_map.DistributedMap.drive` loop) later calls
+:meth:`ProcessPoolWorker.poll` to deliver completed results.  This is what
+lets several pools pump concurrently from one interpreter thread — a
+blocking source would monopolise it and serialise the pools.
 """
 
 from __future__ import annotations
@@ -61,6 +68,13 @@ class ProcessPoolWorker:
     task_timeout:
         Optional per-frame timeout in seconds when awaiting a result; a
         timeout errors the result stream like a crashed worker.
+    blocking:
+        When True (the default), the source blocks on the head-of-line
+        future.  When False, such an ask is parked and must be delivered by
+        :meth:`poll` — the mode used by sharded masters so several pools can
+        pump concurrently.  ``task_timeout`` cannot be enforced in this mode
+        (results are only ever collected from already-done futures), so the
+        combination is rejected rather than silently ignored.
     """
 
     pull_role = "duplex"
@@ -71,11 +85,20 @@ class ProcessPoolWorker:
         processes: Optional[int] = None,
         task_timeout: Optional[float] = None,
         mp_context: Optional[Any] = None,
+        blocking: bool = True,
     ) -> None:
         self._validate_ref(fn_ref)
+        if task_timeout is not None and not blocking:
+            raise PandoError(
+                "task_timeout requires a blocking pool source: the "
+                "non-blocking mode only collects futures that are already "
+                "done, so the timeout would never fire (bound the run with "
+                "DistributedMap.drive(..., timeout=...) instead)"
+            )
         self.fn_ref = fn_ref
         self.processes = processes or os.cpu_count() or 1
         self.task_timeout = task_timeout
+        self.blocking = blocking
         self._executor: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
             max_workers=self.processes, mp_context=mp_context
         )
@@ -135,8 +158,11 @@ class ProcessPoolWorker:
             self.values_dispatched += 1
         self.tasks_submitted += 1
         if self._result_waiting is not None:
-            waiting, self._result_waiting = self._result_waiting, None
-            self._deliver(waiting)
+            if self.blocking:
+                waiting, self._result_waiting = self._result_waiting, None
+                self._deliver(waiting)
+            else:
+                self.poll()
 
     # --------------------------------------------------------- source side
     def _make_source(self) -> Source:
@@ -148,17 +174,20 @@ class ProcessPoolWorker:
             if self._result_waiting is not None:
                 cb(ProtocolError("ProcessPoolWorker source asked twice concurrently"), None)
                 return
-            if self._pending:
-                self._deliver(cb)
+            # Termination is checked before ``_pending``: after close() the
+            # pending futures are cancelled, so delivering one would report a
+            # bogus WorkerCrashed instead of the close reason.
+            if self._closed is not None:
+                cb(self._termination(), None)
                 return
-            if self._upstream_ended is not None or self._closed is not None:
-                termination = (
-                    self._closed
-                    if is_error(self._closed)
-                    else self._upstream_ended
-                    if is_error(self._upstream_ended)
-                    else DONE
-                )
+            if self._pending:
+                if self.blocking or self._pending[0][0].done():
+                    self._deliver(cb)
+                else:
+                    self._result_waiting = cb
+                return
+            if self._upstream_ended is not None:
+                termination = self._termination()
                 self._shutdown(termination)
                 cb(termination, None)
                 return
@@ -184,6 +213,15 @@ class ProcessPoolWorker:
         self.results_returned += len(result) if was_batch else 1
         cb(None, Batch(result) if was_batch else result)
 
+    def _termination(self) -> End:
+        """Termination marker with consistent precedence: an error stored by
+        the close reason wins, then an upstream error, then DONE."""
+        if is_error(self._closed):
+            return self._closed
+        if is_error(self._upstream_ended):
+            return self._upstream_ended
+        return DONE
+
     def _maybe_finish(self) -> None:
         """Answer a parked result ask once the borrow side ended and drained."""
         if self._result_waiting is None or self._pending:
@@ -191,11 +229,46 @@ class ProcessPoolWorker:
         if self._upstream_ended is None and self._closed is None:
             return
         waiting, self._result_waiting = self._result_waiting, None
-        termination = (
-            self._upstream_ended if is_error(self._upstream_ended) else DONE
-        )
+        termination = self._termination()
         self._shutdown(termination)
         waiting(termination, None)
+
+    # ----------------------------------------------------- polled delivery
+    def poll(self) -> bool:
+        """Deliver ready results to a parked ask (non-blocking mode).
+
+        Returns True when at least one result (or the final termination) was
+        handed to the parked callback.  The delivery cascade usually parks a
+        fresh ask, so the loop keeps draining as long as the new head-of-line
+        future is already done.
+        """
+        delivered = False
+        while (
+            self._result_waiting is not None
+            and self._pending
+            and self._pending[0][0].done()
+        ):
+            waiting, self._result_waiting = self._result_waiting, None
+            self._deliver(waiting)
+            delivered = True
+        if (
+            self._result_waiting is not None
+            and not self._pending
+            and (self._upstream_ended is not None or self._closed is not None)
+        ):
+            self._maybe_finish()
+            delivered = True
+        return delivered
+
+    @property
+    def waiting(self) -> bool:
+        """True while a result ask is parked (awaiting poll or new input)."""
+        return self._result_waiting is not None
+
+    @property
+    def head_future(self) -> Optional[Future]:
+        """The oldest pending future (what a driver should wait on), if any."""
+        return self._pending[0][0] if self._pending else None
 
     # ------------------------------------------------------------ lifecycle
     def _shutdown(self, reason: End) -> None:
@@ -206,6 +279,9 @@ class ProcessPoolWorker:
             for future, _was_batch in self._pending:
                 future.cancel()
             executor.shutdown(wait=False)
+        # Cancelled futures must not be delivered by a later read: they would
+        # surface as WorkerCrashed instead of the recorded close reason.
+        self._pending.clear()
         # A parked result ask must be answered on *any* termination —
         # including close() — so the sub-stream closes and its borrowed
         # values are re-lent instead of being silently stranded (the same

@@ -57,6 +57,7 @@ from .sinks import (
     on_end,
     reduce,
 )
+from .split import SplitBranches, merge_ordered, split
 from .async_map import async_map, async_map_ordered
 from .pushable import Pushable, pushable
 from .duplex import Duplex, connect_duplex, duplex, duplex_pair
@@ -103,6 +104,10 @@ __all__ = [
     "unbatch",
     "unbatching",
     "unique",
+    # splitter / joiner
+    "SplitBranches",
+    "merge_ordered",
+    "split",
     # sinks
     "SinkResult",
     "collect",

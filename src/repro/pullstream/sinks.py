@@ -167,7 +167,14 @@ def eager_pump(
                     on_end(end)
                     return
                 if closed_reason() is not None:
-                    return  # the value can no longer be delivered; dropped
+                    # The value can no longer be delivered (the endpoint
+                    # closed while this answer was in flight); drop it and
+                    # re-enter the loop, which aborts the upstream with the
+                    # close reason.  Returning here instead would leave the
+                    # upstream open forever: a lender sub-stream would never
+                    # re-lend the values this worker still borrowed.
+                    ask()
+                    return
                 on_value(value)
                 ask()
 

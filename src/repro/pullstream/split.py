@@ -1,0 +1,314 @@
+"""Round-robin stream splitting and in-order merging (multi-master support).
+
+A single :class:`~repro.core.lender.StreamLender` is one ordering domain: one
+reorder buffer, one upstream pump.  Sharding the master across several
+lenders needs two new pull-stream combinators:
+
+* :func:`split` fans one source out into *n* **branch** sources, assigning
+  value ``i`` of the input to branch ``i % n`` (round-robin).  Branches pull
+  independently and lazily: the upstream is only read while some branch has
+  an unanswered ask, and values destined for a branch that is not currently
+  asking are buffered until it does.
+* :func:`merge_ordered` joins *n* sources back into one by interleaving them
+  in turn order (source 0, 1, ..., n-1, 0, ...).  When the sources are the
+  ordered outputs of lenders fed by :func:`split`, the interleaving
+  reconstructs the **global input order** exactly.
+
+Together they form the splitter/joiner pair around a
+:class:`~repro.core.sharding.ShardedLender`::
+
+    branches = split(read, n)
+    merged = merge_ordered([lender(branch) for lender, branch
+                            in zip(lenders, branches)])
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional, Sequence
+
+from ..errors import ProtocolError
+from .protocol import DONE, Callback, End, Source, is_error
+
+__all__ = ["SplitBranches", "split", "merge_ordered"]
+
+
+class SplitBranches(List[Source]):
+    """The branch sources returned by :func:`split`.
+
+    Behaves as a plain list of sources, with introspection properties used by
+    the sharded master: how many values the splitter has read from the
+    upstream, and whether the upstream has terminated (once it has, the two
+    together give the exact length of the global stream, which
+    :func:`merge_ordered` uses to finish without asking a branch that will
+    never answer).
+    """
+
+    def __init__(self, branches: Sequence[Source], state: dict) -> None:
+        super().__init__(branches)
+        self._state = state
+
+    @property
+    def values_read(self) -> int:
+        """Number of values read from the upstream so far."""
+        return self._state["next"]
+
+    @property
+    def upstream_ended(self) -> bool:
+        """True once the upstream answered a termination."""
+        return self._state["ended"] is not None
+
+    @property
+    def upstream_end(self) -> End:
+        """The upstream termination marker (``None`` while still open)."""
+        return self._state["ended"]
+
+
+def split(
+    read: Source,
+    n: int,
+    on_end: Optional[Callable[[End], None]] = None,
+) -> SplitBranches:
+    """Split *read* into *n* round-robin branch sources.
+
+    Value ``i`` of the upstream goes to branch ``i % n``.  The splitter pumps
+    the upstream only while at least one branch has an unanswered ask, so the
+    composition stays lazy; values that arrive for branches that are not
+    asking are buffered.  Note that this buffering is **unbounded under
+    speed skew**: while one branch keeps asking, its round-robin siblings
+    accumulate their share of every value pumped on its behalf, so a stalled
+    branch can buffer up to its 1/n of the remaining input (the same O(skew)
+    growth a single lender's reorder buffer exhibits when one worker stalls).
+    Back-pressuring the fast branches against a per-branch buffer cap is a
+    recorded follow-on.
+
+    Terminations:
+
+    * when the upstream ends, every parked and future branch ask is answered
+      with the same termination, and *on_end* (if given) is called once —
+      the sharded master uses this to unpark its joiner;
+    * when **any** branch aborts, the whole splitter aborts: the upstream is
+      aborted with the branch's reason and the other branches are answered
+      with the termination on their parked and subsequent asks.  (The only
+      aborts a branch issues in the sharded composition come from a global
+      downstream abort, which reaches every branch anyway.)
+    """
+    if n < 1:
+        raise ValueError("split requires at least one branch")
+    buffers: List[Deque[Any]] = [deque() for _ in range(n)]
+    waiting: List[Optional[Callback]] = [None] * n
+    state = {
+        "next": 0,       # global index of the next upstream value
+        "ended": None,   # upstream termination
+        "aborted": None, # branch-initiated abort
+        "reading": False,
+        "pumping": False,
+    }
+
+    def termination() -> End:
+        if is_error(state["aborted"]):
+            return state["aborted"]
+        if is_error(state["ended"]):
+            return state["ended"]
+        return DONE
+
+    def flush_end() -> None:
+        """Answer every parked branch ask once no more values can arrive."""
+        for index in range(n):
+            cb = waiting[index]
+            if cb is not None and not buffers[index]:
+                waiting[index] = None
+                cb(termination(), None)
+
+    def answer(end: End, value: Any) -> None:
+        state["reading"] = False
+        if state["aborted"] is not None:
+            return  # late answer after a branch abort; the value is dropped
+        if end is not None:
+            state["ended"] = end if is_error(end) else DONE
+            flush_end()
+            if on_end is not None:
+                on_end(state["ended"])
+            return
+        branch = state["next"] % n
+        state["next"] += 1
+        cb = waiting[branch]
+        if cb is not None:
+            waiting[branch] = None
+            cb(None, value)
+        else:
+            buffers[branch].append(value)
+        pump()
+
+    def pump() -> None:
+        if state["pumping"]:
+            return
+        state["pumping"] = True
+        while (
+            state["ended"] is None
+            and state["aborted"] is None
+            and not state["reading"]
+            and any(cb is not None for cb in waiting)
+        ):
+            state["reading"] = True
+            read(None, answer)
+            if state["reading"]:
+                break  # asynchronous upstream: resumed from ``answer``
+        state["pumping"] = False
+
+    def abort(end: End, cb: Callback) -> None:
+        if state["aborted"] is None:
+            state["aborted"] = end if is_error(end) else DONE
+            for buffer in buffers:
+                buffer.clear()
+            flush_end()
+            if state["ended"] is None:
+                # An abort may be issued even while an upstream ask is in
+                # flight (the late answer is dropped above).
+                state["ended"] = state["aborted"]
+                read(end, lambda _e, _v: None)
+        cb(termination(), None)
+
+    def make_branch(index: int) -> Source:
+        def branch(end: End, cb: Callback) -> None:
+            if end is not None:
+                abort(end, cb)
+                return
+            if state["aborted"] is not None:
+                cb(termination(), None)
+                return
+            if buffers[index]:
+                cb(None, buffers[index].popleft())
+                return
+            if state["ended"] is not None:
+                cb(termination(), None)
+                return
+            if waiting[index] is not None:
+                cb(
+                    ProtocolError(
+                        f"split branch {index} asked twice concurrently"
+                    ),
+                    None,
+                )
+                return
+            waiting[index] = cb
+            pump()
+
+        branch.pull_role = "source"
+        return branch
+
+    return SplitBranches([make_branch(index) for index in range(n)], state)
+
+
+def merge_ordered(
+    sources: Sequence[Source],
+    total: Optional[Callable[[], Optional[int]]] = None,
+    total_end: Optional[Callable[[], End]] = None,
+) -> Source:
+    """Join *sources* into one stream by round-robin interleaving.
+
+    Value ``j`` of the merged stream is asked from ``sources[j % n]``; when
+    the sources preserve the order of a :func:`split` fan-out, the merged
+    stream is the global input order.  The joiner issues one source ask at a
+    time (the downstream protocol already forbids concurrent asks).
+
+    *total*, when given, is a zero-argument callable returning the length of
+    the global stream once it is known (``None`` before that).  The joiner
+    then terminates as soon as it has delivered that many values — without
+    asking another source, which matters when a shard has lost all its
+    workers and would never answer.  *total_end* supplies the termination
+    marker for that short-circuit (default ``DONE``): pass the upstream's
+    own end so that a stream whose input **errored** after *total* values
+    reports the error instead of presenting the partial results as a clean
+    completion.  The returned source exposes ``recheck()``: call it when
+    *total* may have just become known; a parked source ask whose index is
+    past the end is then abandoned and the downstream answered directly.
+
+    Terminations: a normal ``DONE`` from one source ends the merged stream
+    without touching the others (with round-robin assignment they are
+    already drained); an **error** from one source aborts all the others; a
+    downstream abort is forwarded to every source.
+    """
+    n = len(sources)
+    if n < 1:
+        raise ValueError("merge_ordered requires at least one source")
+    state = {
+        "turn": 0,      # values delivered downstream so far
+        "ended": None,
+        "pending": None,  # (token, source index, downstream cb) while asking
+    }
+
+    def finish(end: End) -> None:
+        if state["ended"] is None:
+            state["ended"] = end if is_error(end) else DONE
+
+    def abort_sources(end: End, skip: Optional[int] = None) -> None:
+        for index, source in enumerate(sources):
+            if index != skip:
+                source(end, lambda _e, _v: None)
+
+    def read(end: End, cb: Callback) -> None:
+        if end is not None:
+            if state["ended"] is None:
+                finish(end)
+                # Abandon the in-flight source ask (its late answer is
+                # dropped by the token check) but still answer its parked
+                # downstream callback: one answer per request.
+                pending, state["pending"] = state["pending"], None
+                abort_sources(state["ended"])
+                if pending is not None:
+                    pending[2](state["ended"], None)
+            cb(state["ended"], None)
+            return
+        if state["ended"] is not None:
+            cb(state["ended"], None)
+            return
+        if state["pending"] is not None:
+            cb(ProtocolError("merge_ordered asked twice concurrently"), None)
+            return
+        if total is not None:
+            known = total()
+            if known is not None and state["turn"] >= known:
+                finish(total_end() if total_end is not None else DONE)
+                if is_error(state["ended"]):
+                    abort_sources(state["ended"])
+                cb(state["ended"], None)
+                return
+        index = state["turn"] % n
+        token = object()
+        state["pending"] = (token, index, cb)
+
+        def answer(answer_end: End, value: Any) -> None:
+            pending = state["pending"]
+            if pending is None or pending[0] is not token:
+                return  # abandoned by an abort or a recheck() short-circuit
+            state["pending"] = None
+            if answer_end is not None:
+                finish(answer_end)
+                if is_error(answer_end):
+                    abort_sources(state["ended"], skip=index)
+                cb(state["ended"], None)
+                return
+            state["turn"] += 1
+            cb(None, value)
+
+        sources[index](None, answer)
+
+    def recheck() -> None:
+        if state["ended"] is not None or total is None or state["pending"] is None:
+            return
+        known = total()
+        if known is None or state["turn"] < known:
+            return
+        _token, index, cb = state["pending"]
+        state["pending"] = None
+        finish(total_end() if total_end is not None else DONE)
+        if is_error(state["ended"]):
+            abort_sources(state["ended"])
+        else:
+            sources[index](DONE, lambda _e, _v: None)
+        cb(state["ended"], None)
+
+    read.pull_role = "source"
+    read.recheck = recheck
+    return read

@@ -100,3 +100,47 @@ class TestCompanionTools:
         assert gif_encoder_main(["--output", str(output_path)]) == 0
         summary = json.loads(output_path.read_text())
         assert summary["frames"] == 3
+
+
+class TestSharding:
+    def test_pool_sizes_distribute_the_remainder(self):
+        from repro.cli.pando_cli import _pool_sizes
+
+        assert _pool_sizes(4, 3) == [2, 1, 1]   # nothing silently dropped
+        assert _pool_sizes(6, 2) == [3, 3]
+        assert _pool_sizes(1, 2) == [1, 1]      # every shard needs a pool
+        assert _pool_sizes(0, 1) == [1]
+
+    def test_sharded_local_pipeline(self, square_fn):
+        bundle = bundle_function(square_fn)
+        results = run_pipeline(
+            bundle, list(range(10)), workers=1, batch_size=2, shards=2
+        )
+        assert results == [v * v for v in range(10)]
+
+    def test_local_backend_failure_keeps_the_accurate_diagnostic(self):
+        """Regression: run_pipeline called drive() unconditionally, so a
+        local-backend run whose workers all crash-stopped raised the
+        pool-stall message instead of the accurate 'stream has not
+        terminated yet' volunteer-wait semantics."""
+        from repro.errors import PandoError
+
+        def failing(value, cb):
+            cb(RuntimeError("always fails"), None)
+
+        bundle = bundle_function(failing)
+        with pytest.raises(PandoError, match="not terminated"):
+            run_pipeline(bundle, [1, 2, 3], workers=2, batch_size=1)
+
+    def test_shards_rejected_with_unordered(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--app", "collatz", "--count", "2", "--shards", "2",
+                  "--unordered"])
+
+    def test_shards_rejected_with_simulate(self, capsys):
+        """Regression: --simulate returned before the --shards validation,
+        silently ignoring the flag (even an invalid --shards 0 exited 0)."""
+        with pytest.raises(SystemExit):
+            main(["--app", "collatz", "--simulate", "lan", "--shards", "2"])
+        with pytest.raises(SystemExit):
+            main(["--app", "collatz", "--simulate", "lan", "--shards", "0"])

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core import DistributedMap
+from repro.errors import PandoError
 from repro.pullstream import async_map, collect, count, duplex_pair, pull, take, values
 
 
@@ -28,6 +29,37 @@ class TestLocalWorkers:
         pull(values([1]), dmap, collect())
         handle = dmap.add_local_worker(square_fn, worker_id="my-laptop")
         assert "my-laptop" in dmap.workers
+
+    def test_duplicate_worker_id_raises(self, square_fn):
+        """Regression: an explicit duplicate id silently overwrote the
+        existing WorkerHandle in ``workers``, orphaning its sub-stream from
+        inspection and ``in_flight`` accounting.  Every attach path must
+        reject it before any wiring happens."""
+        dmap = DistributedMap()
+        pull(values([1, 2]), dmap, collect())
+        dmap.add_local_worker(square_fn, worker_id="dup")
+        with pytest.raises(PandoError):
+            dmap.add_local_worker(square_fn, worker_id="dup")
+        with pytest.raises(PandoError):
+            dmap.add_channel(duplex_pair()[0], worker_id="dup")
+        with pytest.raises(PandoError):
+            dmap.add_process_pool(
+                "repro.pool.workloads:echo", processes=1, worker_id="dup"
+            )
+        assert list(dmap.workers) == ["dup"]
+        assert dmap._pools == []  # the rejected pool was never spawned
+        assert dmap.stats.substreams_opened == 1  # no phantom sub-streams
+
+    def test_generated_id_skips_explicitly_taken_ids(self, square_fn):
+        """The generated-id path must not collide with an id an explicit
+        attach already took (the same silent-overwrite defect)."""
+        dmap = DistributedMap()
+        pull(values([]), dmap, collect())
+        explicit = dmap.add_local_worker(square_fn, worker_id="worker-1")
+        generated = dmap.add_local_worker(square_fn)
+        assert generated.worker_id != "worker-1"
+        assert dmap.workers["worker-1"] is explicit
+        assert len(dmap.workers) == 2
 
     def test_failing_function_is_treated_as_a_worker_failure(self):
         """A worker whose function reports an error is closed like a crashed

@@ -1,0 +1,117 @@
+"""Fault-injection churn across lender shards.
+
+Mirror of ``tests/core/test_lender_churn.py`` for the multi-master
+composition: workers churn with random crash-stop failures while attached to
+a :class:`~repro.core.sharding.ShardedLender`, and the test asserts that
+exactly-once delivery, **global** output order, and the per-shard
+:class:`~repro.core.lender.LenderStats` balance all survive.  Placement goes
+through the least-loaded policy, so the crash schedule also exercises the
+rebalancing of later attachments towards depleted shards.
+"""
+
+from __future__ import annotations
+
+from repro.core import ShardedLender
+from repro.pullstream import collect, pull, values
+from repro.sim.failures import ChurnModel
+
+SHARDS = 4
+WORKERS = 220
+INPUTS = 500
+
+
+def lend(lender):
+    box = []
+    lender.lend_stream(lambda err, sub: box.append(sub))
+    return box[0]
+
+
+class TestShardedChurn:
+    def test_exactly_once_global_order_under_churn(self, substream_driver):
+        sharded = ShardedLender(shards=SHARDS)
+        inputs = list(range(INPUTS))
+        output = pull(values(inputs), sharded, collect())
+
+        worker_ids = [f"worker-{index}" for index in range(WORKERS)]
+        churn = ChurnModel(mean_uptime=8.0, seed=1234)
+        schedule = churn.schedule_for(worker_ids, horizon=12.0)
+        crash_points = {}
+        for event in schedule:
+            if event.kind == "crash" and event.worker_id not in crash_points:
+                crash_points[event.worker_id] = int(event.time)
+
+        survivors = [wid for wid in worker_ids if wid not in crash_points]
+        assert survivors, "churn model crashed every worker; adjust parameters"
+        assert len(crash_points) >= WORKERS // 2, "churn should be substantial"
+
+        drivers = []
+        placements = []
+        for worker_id in worker_ids:
+            sub = lend(sharded)  # least-loaded placement
+            placements.append(sub.shard)
+            if worker_id in crash_points:
+                driver = substream_driver(
+                    sub, crash_after=crash_points[worker_id], auto_deliver=False
+                )
+            else:
+                driver = substream_driver(sub, auto_deliver=False, max_in_flight=1)
+            drivers.append(driver.start())
+
+        # Least-loaded placement spreads the attachments across every shard.
+        # The split is not perfectly even: workers that crash at start free
+        # their slot immediately, pulling later attachments onto their shard
+        # (the rebalancing behaviour under churn).
+        for shard in range(SHARDS):
+            assert placements.count(shard) >= WORKERS // (2 * SHARDS)
+
+        # Every shard must keep at least one survivor, or the test would
+        # (correctly) stall on a shard whose slice cannot complete.
+        survivors_per_shard = [0] * SHARDS
+        for worker_id, shard in zip(worker_ids, placements):
+            if worker_id not in crash_points:
+                survivors_per_shard[shard] += 1
+        assert all(survivors_per_shard), survivors_per_shard
+
+        for _round in range(10 * INPUTS):
+            if output.done:
+                break
+            for driver in drivers:
+                if not driver.crashed:
+                    driver.deliver_all()
+        assert output.done
+
+        # Exactly once, in global input order.
+        assert output.result() == [value * 10 for value in inputs]
+
+        # Per-shard accounting: each shard read exactly its round-robin
+        # slice and delivered all of it, and its conservativeness invariant
+        # balances independently of the other shards.
+        for shard, lender in enumerate(sharded.shards):
+            stats = lender.stats
+            expected = len(range(shard, INPUTS, SHARDS))
+            assert stats.values_read == expected
+            assert stats.results_delivered == expected
+            assert lender.outstanding == 0
+            assert lender.relendable == 0
+            assert stats.values_lent == (
+                stats.results_delivered
+                + lender.outstanding
+                + lender.relendable
+                + stats.values_relent
+            )
+            assert sum(stats.lent_per_substream.values()) == stats.values_lent
+            assert (
+                sum(stats.results_per_substream.values()) == stats.results_delivered
+            )
+            assert (
+                stats.substreams_failed + stats.substreams_closed
+                == stats.substreams_opened
+            )
+
+        # Aggregate view adds up across shards.
+        total = sharded.stats
+        assert total.values_read == INPUTS
+        assert total.results_delivered == INPUTS
+        assert total.substreams_opened == WORKERS
+        assert total.values_lent == INPUTS + total.values_relent
+        assert sum(total.lent_per_substream.values()) == total.values_lent

@@ -83,6 +83,94 @@ class TestProcessPoolWorker:
         assert pool.closed
 
 
+class TestTerminationPrecedence:
+    def test_read_after_close_reports_the_close_reason(self):
+        """Regression: ``read`` checked ``_pending`` before ``_closed``, so a
+        read after ``close()`` delivered a cancelled future and reported a
+        bogus ``WorkerCrashed`` instead of the close reason."""
+        from repro.pullstream import DONE, pushable
+
+        pool = ProcessPoolWorker("repro.pool.workloads:sleep_echo", processes=1)
+        source = pushable()
+        pool.sink(source)
+        source.push({"sleep": 0.2, "index": 0})
+        source.push({"sleep": 0.2, "index": 1})
+        assert pool.pending == 2
+        pool.close()
+        assert pool.pending == 0  # cancelled futures are dropped at shutdown
+        answers = []
+        pool.source(None, lambda end, value: answers.append((end, value)))
+        assert answers == [(DONE, None)]
+
+    def test_read_after_error_shutdown_reports_the_stored_error(self):
+        boom = RuntimeError("torn down")
+        pool = ProcessPoolWorker("repro.pool.workloads:echo", processes=1)
+        pool._shutdown(boom)
+        answers = []
+        pool.source(None, lambda end, value: answers.append(end))
+        assert answers == [boom]
+
+    def test_maybe_finish_honours_the_close_error(self):
+        """Regression: ``_maybe_finish`` ignored an error stored in
+        ``_closed`` and reported from ``_upstream_ended`` only; it now shares
+        the read path's precedence (close error > upstream error > DONE)."""
+        from repro.pullstream import DONE
+
+        pool = ProcessPoolWorker("repro.pool.workloads:echo", processes=1)
+        boom = RuntimeError("torn down")
+        answers = []
+        pool._result_waiting = lambda end, value: answers.append(end)
+        pool._closed = boom
+        pool._upstream_ended = DONE
+        pool._maybe_finish()
+        assert answers == [boom]
+        assert pool._termination() is boom
+        pool.close()
+
+
+class TestNonBlockingDelivery:
+    def test_parked_ask_is_delivered_by_poll(self):
+        from repro.pullstream import DONE, pushable
+
+        pool = ProcessPoolWorker(
+            "repro.pool.workloads:echo", processes=1, blocking=False
+        )
+        try:
+            source = pushable()
+            pool.sink(source)
+            answers = []
+            pool.source(None, lambda end, value: answers.append((end, value)))
+            source.push(41)
+            assert answers == []  # parked: the future is not awaited inline
+            while not pool.poll():
+                pass
+            assert answers == [(None, 41)]
+            source.end()
+            answers.clear()
+            # With the upstream drained and ended, the ask answers inline.
+            pool.source(None, lambda end, value: answers.append((end, value)))
+            assert answers == [(DONE, None)]
+        finally:
+            pool.close()
+
+    def test_head_future_and_waiting_expose_driver_state(self):
+        from repro.pullstream import pushable
+
+        pool = ProcessPoolWorker(
+            "repro.pool.workloads:sleep_echo", processes=1, blocking=False
+        )
+        try:
+            source = pushable()
+            pool.sink(source)
+            assert pool.head_future is None
+            pool.source(None, lambda end, value: None)
+            assert pool.waiting
+            source.push({"sleep": 0.01, "index": 0})
+            assert pool.head_future is not None
+        finally:
+            pool.close()
+
+
 class TestDistributedMapPoolBackend:
     def test_results_in_input_order(self):
         dmap = DistributedMap(batch_size=3)

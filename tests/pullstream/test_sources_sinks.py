@@ -148,3 +148,65 @@ class TestSinks:
     def test_large_synchronous_stream_no_recursion_error(self):
         # 100k synchronous values must not blow the recursion limit
         assert pull(count(100_000), drain()).result() == 100_000
+
+
+class TestEagerPump:
+    def test_late_async_answer_propagates_the_abort(self):
+        """Regression: when an asynchronous answer arrived after
+        ``closed_reason()`` became non-None, the pump dropped the value but
+        returned without re-entering the loop — so the upstream never
+        received the abort and stayed open forever."""
+        from repro.pullstream import eager_pump
+
+        aborts = []
+        parked = []
+
+        def upstream(end, cb):
+            if end is not None:
+                aborts.append(end)
+                cb(DONE, None)
+                return
+            parked.append(cb)  # answer later, like a sim-clock channel
+
+        closed = {"reason": None}
+        seen = []
+        eager_pump(
+            upstream,
+            on_value=seen.append,
+            on_end=lambda end: seen.append(("end", end)),
+            closed_reason=lambda: closed["reason"],
+        )
+        assert len(parked) == 1
+        closed["reason"] = DONE           # endpoint closes mid-flight
+        parked.pop()(None, "late value")  # the async answer lands afterwards
+        assert seen == []                 # dropped, as before the fix
+        assert aborts == [DONE]           # ...but the abort now propagates
+
+    def test_late_answer_releases_a_lender_substream(self):
+        """End-to-end shape of the same bug: a lender sub-stream drained by
+        an eager pump whose endpoint dies while a borrow answer is in
+        flight.  Without the abort, the sub-stream stayed open and its
+        borrowed value was never re-lent."""
+        from repro.core import StreamLender
+        from repro.errors import WorkerCrashed
+        from repro.pullstream import eager_pump, pushable
+
+        source = pushable()
+        lender = StreamLender()
+        pull(source, lender, collect())
+        box = []
+        lender.lend_stream(lambda err, sub: box.append(sub))
+        sub = box[0]
+        closed = {"reason": None}
+        eager_pump(
+            sub.source,
+            on_value=lambda value: None,
+            on_end=lambda end: None,
+            closed_reason=lambda: closed["reason"],
+        )
+        closed["reason"] = WorkerCrashed("w1")  # endpoint dies while parked
+        source.push(1)  # the borrow answer arrives after the death
+        assert sub.closed
+        assert lender.outstanding == 0
+        assert lender.relendable == 1  # the borrowed value is re-lendable
+        assert lender.stats.substreams_failed == 1

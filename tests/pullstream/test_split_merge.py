@@ -1,0 +1,258 @@
+"""Tests for the round-robin splitter/joiner pair (multi-master support)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.pullstream import (
+    DONE,
+    collect,
+    merge_ordered,
+    pull,
+    pushable,
+    split,
+    values,
+)
+
+
+def ask(source):
+    """Issue one ask and return the (end, value) answer (must be sync)."""
+    box = []
+    source(None, lambda end, value: box.append((end, value)))
+    assert box, "expected a synchronous answer"
+    return box[0]
+
+
+def abort(source, end=DONE):
+    box = []
+    source(end, lambda e, v: box.append((e, v)))
+    return box[0]
+
+
+class TestSplit:
+    def test_round_robin_assignment(self):
+        branches = split(values(list(range(9))), 3)
+        assert [ask(branches[0])[1] for _ in range(3)] == [0, 3, 6]
+        assert [ask(branches[1])[1] for _ in range(3)] == [1, 4, 7]
+        assert [ask(branches[2])[1] for _ in range(3)] == [2, 5, 8]
+        for branch in branches:
+            end, _ = ask(branch)
+            assert end is DONE
+
+    def test_lazy_until_a_branch_asks(self):
+        reads = []
+
+        def counting(end, cb):
+            reads.append(end)
+            values([1, 2, 3, 4])(end, cb)
+
+        branches = split(counting, 2)
+        assert reads == []
+        assert ask(branches[0])[1] == 1
+        assert len(reads) == 1
+
+    def test_values_for_idle_branches_are_buffered(self):
+        branches = split(values(list(range(6))), 2)
+        # Branch 0 drains its half first; the odd values buffer for branch 1.
+        assert [ask(branches[0])[1] for _ in range(3)] == [0, 2, 4]
+        assert branches.values_read >= 5
+        assert [ask(branches[1])[1] for _ in range(3)] == [1, 3, 5]
+
+    def test_termination_reaches_every_branch(self):
+        branches = split(values([0, 1]), 2)
+        assert ask(branches[0]) == (None, 0)
+        assert ask(branches[1]) == (None, 1)
+        end0, _ = ask(branches[0])
+        end1, _ = ask(branches[1])
+        assert end0 is DONE and end1 is DONE
+        assert branches.upstream_ended
+        assert branches.values_read == 2
+
+    def test_error_termination_propagates(self):
+        boom = RuntimeError("boom")
+
+        def erroring(end, cb):
+            cb(boom, None)
+
+        branches = split(erroring, 2)
+        assert ask(branches[0])[0] is boom
+        assert ask(branches[1])[0] is boom
+        assert branches.upstream_end is boom
+
+    def test_parked_ask_is_answered_on_upstream_end(self):
+        source = pushable()
+        branches = split(source, 2)
+        answers = []
+        branches[1](None, lambda end, value: answers.append((end, value)))
+        assert answers == []  # parked: value 0 belongs to branch 0
+        source.push(10)
+        source.end()
+        assert answers == [(DONE, None)]
+        # the skipped value 0 is still buffered for branch 0
+        assert ask(branches[0]) == (None, 10)
+
+    def test_on_end_hook_fires_once(self):
+        ends = []
+        branches = split(values([0]), 2, on_end=ends.append)
+        assert ask(branches[0]) == (None, 0)
+        assert ask(branches[0])[0] is DONE
+        assert ask(branches[1])[0] is DONE
+        assert ends == [DONE]
+
+    def test_branch_abort_aborts_upstream_and_siblings(self):
+        upstream_aborts = []
+        inner = values(list(range(10)))
+
+        def observed(end, cb):
+            if end is not None:
+                upstream_aborts.append(end)
+            inner(end, cb)
+
+        branches = split(observed, 2)
+        assert ask(branches[0]) == (None, 0)
+        end, _ = abort(branches[0])
+        assert end is DONE
+        assert upstream_aborts == [DONE]
+        assert ask(branches[1])[0] is DONE
+
+    def test_branch_error_abort_reaches_siblings(self):
+        boom = RuntimeError("branch failed")
+        branches = split(values([1, 2, 3, 4]), 2)
+        assert ask(branches[0]) == (None, 1)
+        abort(branches[0], boom)
+        assert ask(branches[1])[0] is boom
+
+    def test_concurrent_branch_ask_is_a_protocol_error(self):
+        source = pushable()
+        branches = split(source, 2)
+        branches[1](None, lambda end, value: None)  # parks (value 0 is branch 0's)
+        end, _ = ask(branches[1])
+        assert isinstance(end, ProtocolError)
+
+    def test_requires_at_least_one_branch(self):
+        with pytest.raises(ValueError):
+            split(values([1]), 0)
+
+
+class TestMergeOrdered:
+    def test_interleaves_round_robin(self):
+        branches = split(values(list(range(10))), 2)
+        merged = merge_ordered(branches)
+        assert pull(merged, collect()).result() == list(range(10))
+
+    def test_three_way_global_order(self):
+        branches = split(values(list(range(11))), 3)
+        merged = merge_ordered(branches)
+        assert pull(merged, collect()).result() == list(range(11))
+
+    def test_done_from_one_source_ends_the_merge(self):
+        merged = merge_ordered([values([1]), values([2])])
+        assert ask(merged) == (None, 1)
+        assert ask(merged) == (None, 2)
+        assert ask(merged)[0] is DONE
+
+    def test_error_from_one_source_aborts_the_others(self):
+        boom = RuntimeError("shard died")
+        aborted = []
+
+        def failing(end, cb):
+            cb(boom, None)
+
+        def healthy(end, cb):
+            if end is not None:
+                aborted.append(end)
+                cb(DONE, None)
+                return
+            cb(None, "unused")
+
+        merged = merge_ordered([failing, healthy])
+        end, _ = ask(merged)
+        assert end is boom
+        assert aborted == [boom]
+        assert ask(merged)[0] is boom  # terminal thereafter
+
+    def test_downstream_abort_reaches_every_source(self):
+        aborts = []
+
+        def make(name):
+            def source(end, cb):
+                if end is not None:
+                    aborts.append(name)
+                    cb(DONE, None)
+                    return
+                cb(None, name)
+
+            return source
+
+        merged = merge_ordered([make("a"), make("b")])
+        assert ask(merged) == (None, "a")
+        assert abort(merged)[0] is DONE
+        assert sorted(aborts) == ["a", "b"]
+
+    def test_total_short_circuit_reports_the_upstream_error(self):
+        """Regression: the short-circuit finished with DONE unconditionally,
+        presenting the partial results of an errored input as a clean
+        completion."""
+        boom = RuntimeError("input failed")
+        aborted = []
+
+        def dead(end, cb):
+            if end is not None:
+                aborted.append(end)
+                cb(end, None)
+
+        merged = merge_ordered(
+            [values([0]), dead], total=lambda: 1, total_end=lambda: boom
+        )
+        assert ask(merged) == (None, 0)
+        assert ask(merged)[0] is boom
+        assert aborted == [boom]  # the idle source is shut down with the error
+
+    def test_total_short_circuits_without_asking(self):
+        asks = []
+
+        def never(end, cb):
+            asks.append(end)  # would park forever on a real dead shard
+
+        merged = merge_ordered([values([7]), never], total=lambda: 1)
+        assert ask(merged) == (None, 7)
+        assert ask(merged)[0] is DONE
+        assert asks == []
+
+    def test_recheck_abandons_a_parked_ask(self):
+        """A joiner parked on a source that will never answer is released
+        when the total becomes known (the dead-shard scenario)."""
+        state = {"total": None}
+        parked = []
+
+        def dead(end, cb):
+            if end is not None:
+                cb(DONE, None)
+                return
+            parked.append(cb)  # never answers a value ask
+
+        merged = merge_ordered([values([0]), dead], total=lambda: state["total"])
+        assert ask(merged) == (None, 0)
+        answers = []
+        merged(None, lambda end, value: answers.append((end, value)))
+        assert answers == [] and len(parked) == 1
+        state["total"] = 1
+        merged.recheck()
+        assert answers == [(DONE, None)]
+        # the abandoned source ask stays unanswered without consequence
+        assert ask(merged)[0] is DONE
+
+    def test_concurrent_ask_is_a_protocol_error(self):
+        def never(end, cb):
+            if end is not None:
+                cb(DONE, None)
+
+        merged = merge_ordered([never])
+        merged(None, lambda end, value: None)
+        end, _ = ask(merged)
+        assert isinstance(end, ProtocolError)
+
+    def test_requires_at_least_one_source(self):
+        with pytest.raises(ValueError):
+            merge_ordered([])

@@ -12,4 +12,5 @@ python -m pytest \
     benchmarks/bench_core_micro.py \
     benchmarks/bench_pool_speedup.py \
     benchmarks/bench_shard_scaling.py \
+    benchmarks/bench_unordered_scaling.py \
     -q --benchmark-disable "$@"

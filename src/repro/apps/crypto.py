@@ -18,7 +18,13 @@ from typing import Any, Dict, Iterator, List, Optional
 
 from .base import Application, NodeCallback, registry
 
-__all__ = ["CryptoMiningApplication", "MiningMonitor", "hash_attempt", "meets_difficulty"]
+__all__ = [
+    "CryptoMiningApplication",
+    "MiningMonitor",
+    "find_valid_nonce",
+    "hash_attempt",
+    "meets_difficulty",
+]
 
 
 def hash_attempt(block_data: str, nonce: int) -> int:
@@ -31,6 +37,19 @@ def hash_attempt(block_data: str, nonce: int) -> int:
 def meets_difficulty(hash_value: int, difficulty_bits: int) -> bool:
     """True when *hash_value* has at least *difficulty_bits* leading zero bits."""
     return hash_value < (1 << (256 - difficulty_bits))
+
+
+def find_valid_nonce(block_data: str, difficulty_bits: int, start: int = 0) -> int:
+    """Smallest nonce >= *start* whose hash meets *difficulty_bits*.
+
+    Used by benchmarks and examples that need an attempt guaranteed to
+    contain a hit (expected cost ``2**difficulty_bits`` hashes, so keep the
+    difficulty low when calling this on the master).
+    """
+    nonce = start
+    while not meets_difficulty(hash_attempt(block_data, nonce), difficulty_bits):
+        nonce += 1
+    return nonce
 
 
 class CryptoMiningApplication(Application):

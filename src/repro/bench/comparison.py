@@ -33,6 +33,9 @@ __all__ = [
     "compare_backends",
     "ShardingComparison",
     "compare_sharding",
+    "UnorderedShardingComparison",
+    "compare_unordered_sharding",
+    "crypto_search_inputs",
 ]
 
 
@@ -314,4 +317,172 @@ def compare_sharding(
         per_shard_delivered=[
             stats.results_delivered for stats in sharded.per_shard_stats
         ],
+    )
+
+
+# --------------------------------------------------------------------------
+# Sharded merge modes: ordered vs. completion-order on the crypto search.
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class UnorderedShardingComparison:
+    """Time-to-first-hit of an ordered vs. an unordered sharded master.
+
+    Both arms run the same crypto-search inputs on the same topology
+    (*shards* process pools of one process each); the only difference is the
+    merge: global input order against completion order.  The paper's
+    "first answer wins" claim (section 4.2) is the measured quantity —
+    ``first_hit_seconds`` is the wall-clock from stream construction (pool
+    start-up included) until the attempt containing the valid nonce is
+    **delivered downstream**, which in the ordered arm waits behind every
+    earlier slow attempt on the sibling shard.
+    """
+
+    workload: str
+    values: int
+    shards: int
+    hit_nonce: int
+    ordered_seconds: float
+    unordered_seconds: float
+    ordered_first_hit_seconds: float
+    unordered_first_hit_seconds: float
+    #: each arm's delivered results are the same multiset (exactly once)
+    results_match: bool
+    #: each arm delivered the hit exactly once
+    hit_exactly_once: bool
+
+    @property
+    def first_hit_speedup(self) -> float:
+        """Ordered-arm first-hit latency over the unordered arm's."""
+        if self.unordered_first_hit_seconds <= 0:
+            return float("inf")
+        return self.ordered_first_hit_seconds / self.unordered_first_hit_seconds
+
+
+IMPOSSIBLE_BITS = 192  # a difficulty no 64-bit nonce range will ever meet
+
+
+def crypto_search_inputs(
+    slow_count: int,
+    shards: int = 2,
+    values: int = 12,
+    hit_index: int = 5,
+    difficulty_bits: int = 12,
+) -> tuple:
+    """Build a skewed crypto-search input set and return ``(items, nonce)``.
+
+    Attempts landing on shard 0 (indices ``0 mod shards``) are *slow*:
+    *slow_count* nonces checked against an impossible difficulty, so the
+    whole range is scanned and no hit is found.  The other shards' attempts
+    are tiny no-hit probes, except ``hit_index`` which contains a
+    precomputed valid nonce at the real *difficulty_bits*.  An ordered merge
+    must therefore deliver every slow attempt before ``hit_index``; a
+    completion-order merge delivers the hit as soon as its shard computes
+    it.
+    """
+    from ..apps.crypto import find_valid_nonce
+
+    if not 0 < hit_index < values:
+        raise ValueError("hit_index must fall inside the input range")
+    if hit_index % shards == 0:
+        raise ValueError("hit_index must not land on the slow shard 0")
+    block = "pando-unordered-bench"
+    nonce = find_valid_nonce(block, difficulty_bits)
+    items = []
+    for index in range(values):
+        if index == hit_index:
+            items.append({
+                "block": block,
+                "start": 0,
+                "count": nonce + 1,
+                "difficulty_bits": difficulty_bits,
+            })
+        elif index % shards == 0:
+            items.append({
+                "block": block,
+                "start": 10_000_000 + index * slow_count,
+                "count": slow_count,
+                "difficulty_bits": IMPOSSIBLE_BITS,
+            })
+        else:
+            items.append({
+                "block": block,
+                "start": 20_000_000 + index * 256,
+                "count": 256,
+                "difficulty_bits": IMPOSSIBLE_BITS,
+            })
+    return items, nonce
+
+
+def compare_unordered_sharding(
+    slow_count: int = 120_000,
+    shards: int = 2,
+    values: int = 12,
+    hit_index: int = 5,
+) -> UnorderedShardingComparison:
+    """Run the skewed crypto search through both sharded merge modes.
+
+    Each arm attaches one single-process pool per shard and is driven to
+    completion (so exactly-once delivery can be checked), recording the
+    wall-clock at which the ``found`` result passed downstream.  Pool
+    start-up is included in both arms, which is the honest number a user
+    experiences.
+    """
+    from ..core.distributed_map import DistributedMap
+    from ..pullstream import collect, pull, tap
+    from ..pullstream import values as values_source
+
+    items, nonce = crypto_search_inputs(
+        slow_count, shards=shards, values=values, hit_index=hit_index
+    )
+
+    def run_arm(ordered: bool) -> tuple:
+        start = time.perf_counter()
+        first_hit = {"at": None}
+
+        def observe(result: Any) -> None:
+            if result.get("found") and first_hit["at"] is None:
+                first_hit["at"] = time.perf_counter() - start
+
+        dmap = DistributedMap(ordered=ordered, shards=shards, batch_size=1)
+        sink = pull(values_source(items), dmap, tap(observe), collect())
+        try:
+            for _ in range(shards):
+                dmap.add_process_pool(
+                    "repro.pool.workloads:search_nonces",
+                    processes=1,
+                    batch_size=1,
+                )
+            dmap.drive(sink)
+            results = sink.result()
+        finally:
+            dmap.close()
+        return time.perf_counter() - start, first_hit["at"], results
+
+    ordered_seconds, ordered_hit, ordered_results = run_arm(True)
+    unordered_seconds, unordered_hit, unordered_results = run_arm(False)
+
+    def key(result: Any) -> str:
+        return repr(sorted(result.items()))
+
+    return UnorderedShardingComparison(
+        workload="search_nonces",
+        values=len(items),
+        shards=shards,
+        hit_nonce=nonce,
+        ordered_seconds=ordered_seconds,
+        unordered_seconds=unordered_seconds,
+        ordered_first_hit_seconds=ordered_hit if ordered_hit is not None else float("inf"),
+        unordered_first_hit_seconds=(
+            unordered_hit if unordered_hit is not None else float("inf")
+        ),
+        results_match=(
+            sorted(map(key, ordered_results)) == sorted(map(key, unordered_results))
+            and len(ordered_results) == len(items)
+        ),
+        hit_exactly_once=(
+            sum(1 for r in ordered_results if r.get("found")) == 1
+            and sum(1 for r in unordered_results if r.get("found")) == 1
+        ),
     )

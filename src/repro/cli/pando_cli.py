@@ -96,7 +96,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--unordered",
         action="store_true",
-        help="release results in completion order instead of input order",
+        help="release results in completion order instead of input order; "
+        "with --shards > 1, shard outputs are merged in completion order "
+        "(first answer wins across shards)",
+    )
+    parser.add_argument(
+        "--split-buffer",
+        type=int,
+        default=None,
+        dest="split_buffer",
+        help="with --shards > 1: cap the splitter's per-shard input buffer "
+        "at this many values, back-pressuring the faster shards when one "
+        "shard stalls (default: unbounded)",
     )
     parser.add_argument(
         "--count",
@@ -157,6 +168,7 @@ def run_pipeline(
     backend: str = "local",
     fn_ref: Any = None,
     shards: int = 1,
+    split_buffer: Optional[int] = None,
 ) -> List[Any]:
     """Run the distributed map and return the results.
 
@@ -170,8 +182,16 @@ def run_pipeline(
     pool per shard (splitting *workers* processes between them, remainder
     first, at least one each) and drives them concurrently; the local
     backend attaches at least one worker per shard so every shard is served.
+    ``ordered=False`` on a sharded run merges the shard outputs in
+    completion order, and *split_buffer* caps the splitter's per-shard
+    buffering (see :class:`~repro.core.distributed_map.DistributedMap`).
     """
-    dmap = DistributedMap(ordered=ordered, batch_size=batch_size, shards=shards)
+    dmap = DistributedMap(
+        ordered=ordered,
+        batch_size=batch_size,
+        shards=shards,
+        split_buffer=split_buffer,
+    )
     sink = pull(from_iterable(inputs), dmap, collect())
     try:
         if backend == "pool":
@@ -232,8 +252,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.shards < 1:
         parser.error("--shards must be >= 1")
         return 2  # pragma: no cover - parser.error raises
-    if args.shards > 1 and args.unordered:
-        parser.error("--shards requires ordered output (drop --unordered)")
+    if args.split_buffer is not None and args.split_buffer < 1:
+        parser.error("--split-buffer must be >= 1")
+        return 2  # pragma: no cover - parser.error raises
+    if args.split_buffer is not None and args.shards == 1:
+        parser.error("--split-buffer requires --shards > 1")
         return 2  # pragma: no cover - parser.error raises
     if args.shards > 1 and args.simulate is not None:
         parser.error("--simulate does not support --shards (simulated "
@@ -269,6 +292,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         backend=args.backend,
         fn_ref=fn_ref,
         shards=args.shards,
+        split_buffer=args.split_buffer,
     )
     for result in results:
         _emit(result, sys.stdout)

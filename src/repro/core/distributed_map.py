@@ -81,33 +81,44 @@ class DistributedMap:
     round-robin split across N independent
     :class:`~repro.core.sharding.ShardedLender` shards (each its own reorder
     buffer, failure queue and stats) and the outputs are merged back in
-    global input order.  Workers are placed on the least-loaded shard, and
-    process pools default to non-blocking delivery so that several of them
-    pump concurrently under :meth:`drive` instead of serialising behind one
-    blocking head-of-line drain.
+    global input order — or, with ``ordered=False``, in completion order
+    across all shards, so a search hit computed on any shard is delivered
+    the moment it is ready.  Workers are placed on the least-loaded shard,
+    and process pools default to non-blocking delivery so that several of
+    them pump concurrently under :meth:`drive` instead of serialising behind
+    one blocking head-of-line drain.  ``split_buffer=N`` bounds the
+    splitter's per-shard buffering: a shard stalled N values behind parks
+    the input pump (back-pressure on the faster shards) instead of growing
+    its backlog without bound.
     """
 
     pull_role = "through"
 
     def __init__(
-        self, ordered: bool = True, batch_size: int = 1, shards: int = 1
+        self,
+        ordered: bool = True,
+        batch_size: int = 1,
+        shards: int = 1,
+        split_buffer: Optional[int] = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         if shards < 1:
             raise ValueError("shards must be >= 1")
+        if split_buffer is not None and shards == 1:
+            raise ValueError(
+                "split_buffer requires shards > 1 (an unsharded map has no "
+                "splitter to bound)"
+            )
         self.ordered = ordered
         self.batch_size = batch_size
         self.shards = shards
+        self.split_buffer = split_buffer
         if shards > 1:
-            if not ordered:
-                raise PandoError(
-                    "sharded DistributedMap requires ordered=True (the merge "
-                    "reconstructs global input order; unordered multi-master "
-                    "merging is not implemented)"
-                )
             #: the single lender or the sharded multi-master composition
-            self.lender: Any = ShardedLender(shards)
+            self.lender: Any = ShardedLender(
+                shards, ordered=ordered, max_buffer=split_buffer
+            )
         else:
             self.lender = StreamLender() if ordered else UnorderedStreamLender()
         self._workers: Dict[str, WorkerHandle] = {}

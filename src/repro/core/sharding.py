@@ -16,7 +16,12 @@ in **global input order** with the :func:`~repro.pullstream.split.split` /
 Each shard keeps the full Table-1 property set (lazy, conservative,
 fault-tolerant, adaptive, ordered) for its slice of the input; the
 round-robin assignment makes the merged interleaving equal to the global
-input order.  Workers attach to a shard through :meth:`lend_stream`, which
+input order.  With ``ordered=False`` the shards become
+:class:`~repro.core.lender.UnorderedStreamLender`\\ s joined by
+:func:`~repro.pullstream.split.merge_unordered` instead: results flow
+downstream in completion order across **all** shards, serving the
+synchronous-parallel-search workloads (paper section 4.2) where the first
+answer wins.  Workers attach to a shard through :meth:`lend_stream`, which
 places them on the least-loaded shard by default; crash-stopped workers stop
 counting towards a shard's load, so churn rebalances later attachments
 towards depleted shards.
@@ -34,8 +39,8 @@ from typing import Callable, List, Optional
 
 from ..errors import ProtocolError
 from ..pullstream.protocol import DONE, End, Source
-from ..pullstream.split import SplitBranches, merge_ordered, split
-from .lender import LenderStats, StreamLender, SubStream
+from ..pullstream.split import SplitBranches, merge_ordered, merge_unordered, split
+from .lender import LenderStats, StreamLender, SubStream, UnorderedStreamLender
 
 __all__ = ["ShardedLender"]
 
@@ -45,23 +50,40 @@ class ShardedLender:
 
     Drop-in for :class:`StreamLender` in the master composition: use as a
     pull-stream through, create worker sub-streams with :meth:`lend_stream`.
-    Only the ordered variant exists — the whole point of the merge is the
-    reconstruction of global input order (unordered workloads gain nothing
-    from sharding the reorder buffer away; use one
-    :class:`~repro.core.lender.UnorderedStreamLender` instead).
-    """
+    ``ordered=True`` (the default) merges the shard outputs back in global
+    input order; ``ordered=False`` builds the shards from
+    :class:`~repro.core.lender.UnorderedStreamLender` and merges them in
+    completion order, so a result computed on any shard is delivered the
+    moment it is ready ("first answer wins" search workloads).  Both modes
+    keep the dead-shard short-circuit: once every read value has been
+    delivered, the merged stream terminates without waiting on a shard whose
+    workers all crashed.
 
-    ordered = True
+    *max_buffer* caps the per-branch buffering of the round-robin splitter
+    (see :func:`~repro.pullstream.split.split`): a shard that stalls
+    *max_buffer* values behind parks the input pump — back-pressuring its
+    faster siblings — instead of accumulating its share of every value
+    pumped on their behalf.
+    """
 
     pull_role = "through"
 
     def __init__(
         self,
         shards: int = 2,
-        lender_factory: Callable[[], StreamLender] = StreamLender,
+        *,
+        ordered: bool = True,
+        lender_factory: Optional[Callable[[], StreamLender]] = None,
+        max_buffer: Optional[int] = None,
     ) -> None:
         if shards < 1:
             raise ValueError("ShardedLender needs at least one shard")
+        if max_buffer is not None and max_buffer < 1:
+            raise ValueError("max_buffer must be >= 1 (or None for unbounded)")
+        if lender_factory is None:
+            lender_factory = StreamLender if ordered else UnorderedStreamLender
+        self.ordered = ordered
+        self.max_buffer = max_buffer
         self._shards: List[StreamLender] = [lender_factory() for _ in range(shards)]
         self._branches: Optional[SplitBranches] = None
         self._output: Optional[Source] = None
@@ -71,11 +93,17 @@ class ShardedLender:
         """Connect the upstream *read* and return the merged output source."""
         if self._branches is not None:
             raise ProtocolError("ShardedLender is already connected to an upstream")
-        self._branches = split(read, len(self._shards), on_end=self._on_upstream_end)
+        self._branches = split(
+            read,
+            len(self._shards),
+            on_end=self._on_upstream_end,
+            max_buffer=self.max_buffer,
+        )
         outputs = [
             lender(branch) for lender, branch in zip(self._shards, self._branches)
         ]
-        self._output = merge_ordered(
+        join = merge_ordered if self.ordered else merge_unordered
+        self._output = join(
             outputs, total=self._known_total, total_end=self._upstream_end_marker
         )
         return self._output

@@ -57,7 +57,7 @@ from .sinks import (
     on_end,
     reduce,
 )
-from .split import SplitBranches, merge_ordered, split
+from .split import SplitBranches, merge_ordered, merge_unordered, split
 from .async_map import async_map, async_map_ordered
 from .pushable import Pushable, pushable
 from .duplex import Duplex, connect_duplex, duplex, duplex_pair
@@ -107,6 +107,7 @@ __all__ = [
     # splitter / joiner
     "SplitBranches",
     "merge_ordered",
+    "merge_unordered",
     "split",
     # sinks
     "SinkResult",

@@ -13,6 +13,12 @@ lenders needs two new pull-stream combinators:
   in turn order (source 0, 1, ..., n-1, 0, ...).  When the sources are the
   ordered outputs of lenders fed by :func:`split`, the interleaving
   reconstructs the **global input order** exactly.
+* :func:`merge_unordered` joins *n* sources in **completion order**: it asks
+  every source concurrently, delivers whichever answers first, and drains the
+  stragglers once the global length is known.  Joining unordered lenders this
+  way serves the synchronous-parallel-search workloads (paper section 4.2)
+  where the first answer wins and holding a result back behind a slower
+  sibling shard wastes exactly the latency the search cares about.
 
 Together they form the splitter/joiner pair around a
 :class:`~repro.core.sharding.ShardedLender`::
@@ -30,7 +36,7 @@ from typing import Any, Callable, Deque, List, Optional, Sequence
 from ..errors import ProtocolError
 from .protocol import DONE, Callback, End, Source, is_error
 
-__all__ = ["SplitBranches", "split", "merge_ordered"]
+__all__ = ["SplitBranches", "split", "merge_ordered", "merge_unordered"]
 
 
 class SplitBranches(List[Source]):
@@ -63,24 +69,44 @@ class SplitBranches(List[Source]):
         """The upstream termination marker (``None`` while still open)."""
         return self._state["ended"]
 
+    @property
+    def buffer_depths(self) -> List[int]:
+        """Values currently buffered per branch (index = branch id)."""
+        return [len(buffer) for buffer in self._state["buffers"]]
+
+    @property
+    def max_buffer(self) -> Optional[int]:
+        """The per-branch buffer cap (``None`` when unbounded)."""
+        return self._state["max_buffer"]
+
 
 def split(
     read: Source,
     n: int,
     on_end: Optional[Callable[[End], None]] = None,
+    max_buffer: Optional[int] = None,
 ) -> SplitBranches:
     """Split *read* into *n* round-robin branch sources.
 
     Value ``i`` of the upstream goes to branch ``i % n``.  The splitter pumps
     the upstream only while at least one branch has an unanswered ask, so the
     composition stays lazy; values that arrive for branches that are not
-    asking are buffered.  Note that this buffering is **unbounded under
+    asking are buffered.  Without a cap this buffering is **unbounded under
     speed skew**: while one branch keeps asking, its round-robin siblings
     accumulate their share of every value pumped on its behalf, so a stalled
     branch can buffer up to its 1/n of the remaining input (the same O(skew)
     growth a single lender's reorder buffer exhibits when one worker stalls).
-    Back-pressuring the fast branches against a per-branch buffer cap is a
-    recorded follow-on.
+
+    *max_buffer* bounds that growth: the pump parks as soon as the **next**
+    upstream value belongs to a branch that is not asking and already holds
+    *max_buffer* buffered values, back-pressuring the fast siblings instead
+    of growing the stalled branch's backlog.  The parked pump resumes the
+    moment the slow branch asks again (its buffer drains below the cap
+    first, since a branch ask always pops its own buffer before parking).
+    The trade-off is liveness under permanent stalls: a branch that never
+    asks again eventually parks the whole splitter — the same "master waits
+    for more volunteers" state a shard with no workers already exhibits, now
+    with O(max_buffer) instead of O(input/n) memory held.
 
     Terminations:
 
@@ -95,6 +121,8 @@ def split(
     """
     if n < 1:
         raise ValueError("split requires at least one branch")
+    if max_buffer is not None and max_buffer < 1:
+        raise ValueError("max_buffer must be >= 1 (or None for unbounded)")
     buffers: List[Deque[Any]] = [deque() for _ in range(n)]
     waiting: List[Optional[Callback]] = [None] * n
     state = {
@@ -103,6 +131,8 @@ def split(
         "aborted": None, # branch-initiated abort
         "reading": False,
         "pumping": False,
+        "buffers": buffers,
+        "max_buffer": max_buffer,
     }
 
     def termination() -> End:
@@ -140,6 +170,18 @@ def split(
             buffers[branch].append(value)
         pump()
 
+    def next_branch_blocked() -> bool:
+        """True when reading one more value would overflow a branch's cap.
+
+        The value about to be read belongs to branch ``next % n``; handing it
+        to a waiting ask never buffers, so only a branch that is not asking
+        and already *max_buffer* behind parks the pump.
+        """
+        if max_buffer is None:
+            return False
+        branch = state["next"] % n
+        return waiting[branch] is None and len(buffers[branch]) >= max_buffer
+
     def pump() -> None:
         if state["pumping"]:
             return
@@ -149,6 +191,7 @@ def split(
             and state["aborted"] is None
             and not state["reading"]
             and any(cb is not None for cb in waiting)
+            and not next_branch_blocked()
         ):
             state["reading"] = True
             read(None, answer)
@@ -179,6 +222,9 @@ def split(
                 return
             if buffers[index]:
                 cb(None, buffers[index].popleft())
+                # Draining a slot may release a pump parked on this branch's
+                # buffer cap.
+                pump()
                 return
             if state["ended"] is not None:
                 cb(termination(), None)
@@ -308,6 +354,155 @@ def merge_ordered(
         else:
             sources[index](DONE, lambda _e, _v: None)
         cb(state["ended"], None)
+
+    read.pull_role = "source"
+    read.recheck = recheck
+    return read
+
+
+def merge_unordered(
+    sources: Sequence[Source],
+    total: Optional[Callable[[], Optional[int]]] = None,
+    total_end: Optional[Callable[[], End]] = None,
+) -> Source:
+    """Join *sources* into one stream in **completion order**.
+
+    On every downstream ask the joiner fans an ask out to each source that
+    does not already have one in flight, and delivers whichever value answers
+    first; later answers are buffered and satisfy subsequent downstream asks
+    without re-asking.  No interleaving discipline is imposed, so joining the
+    outputs of :class:`~repro.core.lender.UnorderedStreamLender` shards fed
+    by :func:`split` yields the "first answer wins" semantics the paper's
+    synchronous parallel search (crypto mining, section 4.2) needs: a hit
+    found on a fast shard is never held back behind a slower sibling.
+
+    A normal ``DONE`` from one source only retires that source (unlike
+    :func:`merge_ordered`, completion order says nothing about the others
+    being drained); the merged stream ends when **every** source has ended,
+    or — with *total* given, same contract as :func:`merge_ordered` — as soon
+    as *total* values have been delivered, without waiting on a source that
+    will never answer (the dead-shard short-circuit).  *total_end* supplies
+    the termination for both completions, so an errored input surfaces its
+    error instead of presenting the delivered values as a clean end.  The
+    returned source exposes ``recheck()``: call it when *total* may have just
+    become known to release a parked downstream ask.
+
+    An **error** from one source aborts the others and the merged stream; a
+    downstream abort is forwarded to every source.  Values buffered but not
+    yet delivered when an abort lands are dropped, exactly as a lender's
+    reorder buffer drops undelivered results on abort.
+    """
+    n = len(sources)
+    if n < 1:
+        raise ValueError("merge_unordered requires at least one source")
+    ready: Deque[Any] = deque()  # answered values awaiting a downstream ask
+    in_flight = [False] * n
+    done = [False] * n
+    state = {
+        "delivered": 0,
+        "ended": None,
+        "waiting": None,  # parked downstream callback
+    }
+
+    def finish(end: End) -> None:
+        if state["ended"] is None:
+            state["ended"] = end if is_error(end) else DONE
+
+    def release(end: End) -> None:
+        cb, state["waiting"] = state["waiting"], None
+        if cb is not None:
+            cb(end, None)
+
+    def close_sources(end: End, skip: Optional[int] = None) -> None:
+        for index, source in enumerate(sources):
+            if index != skip and not done[index]:
+                done[index] = True
+                source(end, lambda _e, _v: None)
+
+    def completion_end() -> End:
+        if total_end is not None:
+            end = total_end()
+            if is_error(end):
+                return end
+        return DONE
+
+    def finished_by_total() -> bool:
+        if total is None or ready:
+            return False
+        known = total()
+        return known is not None and state["delivered"] >= known
+
+    def maybe_finish() -> None:
+        """Terminate a parked downstream ask once no value can still arrive."""
+        if state["ended"] is not None or state["waiting"] is None or ready:
+            return
+        if all(done):
+            finish(completion_end())
+            release(state["ended"])
+        elif finished_by_total():
+            finish(completion_end())
+            # The stragglers will never answer their in-flight asks; close
+            # them with the termination so their shards shut down cleanly.
+            close_sources(state["ended"])
+            release(state["ended"])
+
+    def make_answer(index: int) -> Callback:
+        def answer(end: End, value: Any) -> None:
+            in_flight[index] = False
+            if state["ended"] is not None:
+                return  # late answer after an abort or a short-circuit
+            if end is not None:
+                done[index] = True
+                if is_error(end):
+                    finish(end)
+                    ready.clear()
+                    close_sources(end, skip=index)
+                    release(state["ended"])
+                else:
+                    maybe_finish()
+                return
+            if state["waiting"] is not None:
+                state["delivered"] += 1
+                cb, state["waiting"] = state["waiting"], None
+                cb(None, value)
+            else:
+                ready.append(value)
+
+        return answer
+
+    def read(end: End, cb: Callback) -> None:
+        if end is not None:
+            if state["ended"] is None:
+                finish(end)
+                ready.clear()
+                close_sources(state["ended"])
+                release(state["ended"])  # one answer per parked request
+            cb(state["ended"], None)
+            return
+        if state["ended"] is not None:
+            cb(state["ended"], None)
+            return
+        if state["waiting"] is not None:
+            cb(ProtocolError("merge_unordered asked twice concurrently"), None)
+            return
+        if ready:
+            state["delivered"] += 1
+            cb(None, ready.popleft())
+            return
+        state["waiting"] = cb
+        maybe_finish()
+        if state["waiting"] is None:
+            return
+        for index, source in enumerate(sources):
+            if done[index] or in_flight[index]:
+                continue
+            in_flight[index] = True
+            source(None, make_answer(index))
+            if state["ended"] is not None or state["waiting"] is None:
+                break  # a synchronous answer already satisfied the ask
+
+    def recheck() -> None:
+        maybe_finish()
 
     read.pull_role = "source"
     read.recheck = recheck

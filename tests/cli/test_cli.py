@@ -132,10 +132,44 @@ class TestSharding:
         with pytest.raises(PandoError, match="not terminated"):
             run_pipeline(bundle, [1, 2, 3], workers=2, batch_size=1)
 
-    def test_shards_rejected_with_unordered(self, capsys):
+    def test_unordered_sharded_pipeline(self, square_fn):
+        bundle = bundle_function(square_fn)
+        results = run_pipeline(
+            bundle, list(range(10)), workers=1, batch_size=2, shards=2,
+            ordered=False,
+        )
+        assert sorted(results) == [v * v for v in range(10)]
+
+    def test_sharded_pipeline_with_split_buffer(self, square_fn):
+        bundle = bundle_function(square_fn)
+        results = run_pipeline(
+            bundle, list(range(12)), workers=1, batch_size=2, shards=2,
+            split_buffer=1,
+        )
+        assert results == [v * v for v in range(12)]
+
+    def test_unordered_with_shards_accepted(self, capsys):
+        code = main(["--app", "collatz", "--count", "4", "--shards", "2",
+                     "--unordered"])
+        assert code == 0
+        lines = [json.loads(line)
+                 for line in capsys.readouterr().out.strip().splitlines()]
+        assert len(lines) == 4
+
+    def test_split_buffer_requires_shards(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--app", "collatz", "--count", "2", "--split-buffer", "4"])
         with pytest.raises(SystemExit):
             main(["--app", "collatz", "--count", "2", "--shards", "2",
-                  "--unordered"])
+                  "--split-buffer", "0"])
+
+    def test_split_buffer_sharded_run(self, capsys):
+        code = main(["--app", "collatz", "--count", "4", "--shards", "2",
+                     "--split-buffer", "2"])
+        assert code == 0
+        lines = [json.loads(line)
+                 for line in capsys.readouterr().out.strip().splitlines()]
+        assert len(lines) == 4
 
     def test_shards_rejected_with_simulate(self, capsys):
         """Regression: --simulate returned before the --shards validation,

@@ -7,6 +7,13 @@ exactly-once delivery, **global** output order, and the per-shard
 :class:`~repro.core.lender.LenderStats` balance all survive.  Placement goes
 through the least-loaded policy, so the crash schedule also exercises the
 rebalancing of later attachments towards depleted shards.
+
+The same schedule runs against the ``ordered=False`` composition
+(:class:`~repro.core.lender.UnorderedStreamLender` shards joined in
+completion order), where the order assertion relaxes to exactly-once
+permutation delivery — and additionally covers the shard whose workers all
+die after its slice completed (the dead-shard short-circuit must terminate
+the merged stream instead of wedging on a shard that can never answer).
 """
 
 from __future__ import annotations
@@ -26,36 +33,101 @@ def lend(lender):
     return box[0]
 
 
+def build_churn_run(sharded, substream_driver, workers=WORKERS, inputs=INPUTS,
+                    seed=1234):
+    """Attach *workers* churning drivers to *sharded*; returns the pieces.
+
+    The churn schedule is deterministic for a given *seed*: roughly half the
+    workers crash after a known number of borrows, the rest survive, and
+    every shard keeps at least one survivor (asserted, or the run would
+    legitimately stall waiting for volunteers on a depleted shard).
+    """
+    input_values = list(range(inputs))
+    output = pull(values(input_values), sharded, collect())
+
+    worker_ids = [f"worker-{index}" for index in range(workers)]
+    churn = ChurnModel(mean_uptime=8.0, seed=seed)
+    schedule = churn.schedule_for(worker_ids, horizon=12.0)
+    crash_points = {}
+    for event in schedule:
+        if event.kind == "crash" and event.worker_id not in crash_points:
+            crash_points[event.worker_id] = int(event.time)
+
+    survivors = [wid for wid in worker_ids if wid not in crash_points]
+    assert survivors, "churn model crashed every worker; adjust parameters"
+    assert len(crash_points) >= workers // 2, "churn should be substantial"
+
+    drivers = []
+    placements = []
+    for worker_id in worker_ids:
+        sub = lend(sharded)  # least-loaded placement
+        placements.append(sub.shard)
+        if worker_id in crash_points:
+            driver = substream_driver(
+                sub, crash_after=crash_points[worker_id], auto_deliver=False
+            )
+        else:
+            driver = substream_driver(sub, auto_deliver=False, max_in_flight=1)
+        drivers.append(driver.start())
+
+    survivors_per_shard = [0] * sharded.shard_count
+    for worker_id, shard in zip(worker_ids, placements):
+        if worker_id not in crash_points:
+            survivors_per_shard[shard] += 1
+    assert all(survivors_per_shard), survivors_per_shard
+
+    return input_values, output, drivers, placements
+
+
+def drive_to_completion(output, drivers, rounds):
+    for _round in range(rounds):
+        if output.done:
+            break
+        for driver in drivers:
+            if not driver.crashed:
+                driver.deliver_all()
+    assert output.done
+
+
+def assert_shard_accounting(sharded, inputs, workers):
+    """Per-shard slice accounting and the conservativeness invariant."""
+    shards = sharded.shard_count
+    for shard, lender in enumerate(sharded.shards):
+        stats = lender.stats
+        expected = len(range(shard, inputs, shards))
+        assert stats.values_read == expected
+        assert stats.results_delivered == expected
+        assert lender.outstanding == 0
+        assert lender.relendable == 0
+        assert stats.values_lent == (
+            stats.results_delivered
+            + lender.outstanding
+            + lender.relendable
+            + stats.values_relent
+        )
+        assert sum(stats.lent_per_substream.values()) == stats.values_lent
+        assert (
+            sum(stats.results_per_substream.values()) == stats.results_delivered
+        )
+        assert (
+            stats.substreams_failed + stats.substreams_closed
+            == stats.substreams_opened
+        )
+
+    total = sharded.stats
+    assert total.values_read == inputs
+    assert total.results_delivered == inputs
+    assert total.substreams_opened == workers
+    assert total.values_lent == inputs + total.values_relent
+    assert sum(total.lent_per_substream.values()) == total.values_lent
+
+
 class TestShardedChurn:
     def test_exactly_once_global_order_under_churn(self, substream_driver):
         sharded = ShardedLender(shards=SHARDS)
-        inputs = list(range(INPUTS))
-        output = pull(values(inputs), sharded, collect())
-
-        worker_ids = [f"worker-{index}" for index in range(WORKERS)]
-        churn = ChurnModel(mean_uptime=8.0, seed=1234)
-        schedule = churn.schedule_for(worker_ids, horizon=12.0)
-        crash_points = {}
-        for event in schedule:
-            if event.kind == "crash" and event.worker_id not in crash_points:
-                crash_points[event.worker_id] = int(event.time)
-
-        survivors = [wid for wid in worker_ids if wid not in crash_points]
-        assert survivors, "churn model crashed every worker; adjust parameters"
-        assert len(crash_points) >= WORKERS // 2, "churn should be substantial"
-
-        drivers = []
-        placements = []
-        for worker_id in worker_ids:
-            sub = lend(sharded)  # least-loaded placement
-            placements.append(sub.shard)
-            if worker_id in crash_points:
-                driver = substream_driver(
-                    sub, crash_after=crash_points[worker_id], auto_deliver=False
-                )
-            else:
-                driver = substream_driver(sub, auto_deliver=False, max_in_flight=1)
-            drivers.append(driver.start())
+        inputs, output, drivers, placements = build_churn_run(
+            sharded, substream_driver
+        )
 
         # Least-loaded placement spreads the attachments across every shard.
         # The split is not perfectly even: workers that crash at start free
@@ -64,21 +136,7 @@ class TestShardedChurn:
         for shard in range(SHARDS):
             assert placements.count(shard) >= WORKERS // (2 * SHARDS)
 
-        # Every shard must keep at least one survivor, or the test would
-        # (correctly) stall on a shard whose slice cannot complete.
-        survivors_per_shard = [0] * SHARDS
-        for worker_id, shard in zip(worker_ids, placements):
-            if worker_id not in crash_points:
-                survivors_per_shard[shard] += 1
-        assert all(survivors_per_shard), survivors_per_shard
-
-        for _round in range(10 * INPUTS):
-            if output.done:
-                break
-            for driver in drivers:
-                if not driver.crashed:
-                    driver.deliver_all()
-        assert output.done
+        drive_to_completion(output, drivers, rounds=10 * INPUTS)
 
         # Exactly once, in global input order.
         assert output.result() == [value * 10 for value in inputs]
@@ -86,32 +144,71 @@ class TestShardedChurn:
         # Per-shard accounting: each shard read exactly its round-robin
         # slice and delivered all of it, and its conservativeness invariant
         # balances independently of the other shards.
-        for shard, lender in enumerate(sharded.shards):
-            stats = lender.stats
-            expected = len(range(shard, INPUTS, SHARDS))
-            assert stats.values_read == expected
-            assert stats.results_delivered == expected
-            assert lender.outstanding == 0
-            assert lender.relendable == 0
-            assert stats.values_lent == (
-                stats.results_delivered
-                + lender.outstanding
-                + lender.relendable
-                + stats.values_relent
-            )
-            assert sum(stats.lent_per_substream.values()) == stats.values_lent
-            assert (
-                sum(stats.results_per_substream.values()) == stats.results_delivered
-            )
-            assert (
-                stats.substreams_failed + stats.substreams_closed
-                == stats.substreams_opened
-            )
+        assert_shard_accounting(sharded, INPUTS, WORKERS)
 
-        # Aggregate view adds up across shards.
-        total = sharded.stats
-        assert total.values_read == INPUTS
-        assert total.results_delivered == INPUTS
-        assert total.substreams_opened == WORKERS
-        assert total.values_lent == INPUTS + total.values_relent
-        assert sum(total.lent_per_substream.values()) == total.values_lent
+
+class TestUnorderedShardedChurn:
+    def test_exactly_once_permutation_under_churn(self, substream_driver):
+        """The ordered churn schedule, replayed against ``ordered=False``:
+        every input is answered exactly once (a permutation, nothing lost or
+        duplicated across ~220 joining/crashing workers) and the per-shard
+        accounting still balances."""
+        sharded = ShardedLender(shards=SHARDS, ordered=False)
+        assert not sharded.ordered
+        inputs, output, drivers, placements = build_churn_run(
+            sharded, substream_driver
+        )
+        for shard in range(SHARDS):
+            assert placements.count(shard) >= WORKERS // (2 * SHARDS)
+
+        drive_to_completion(output, drivers, rounds=10 * INPUTS)
+
+        # Exactly once: a permutation of the expected results.
+        assert sorted(output.result()) == [value * 10 for value in inputs]
+        assert_shard_accounting(sharded, INPUTS, WORKERS)
+
+    def test_bounded_split_buffer_survives_churn(self, substream_driver):
+        """The churn run with ``max_buffer=2``: back-pressure must not cost
+        liveness (every shard keeps a survivor, so every parked pump is
+        eventually released) and delivery stays exactly-once."""
+        sharded = ShardedLender(shards=SHARDS, ordered=False, max_buffer=2)
+        inputs, output, drivers, _placements = build_churn_run(
+            sharded, substream_driver
+        )
+        drive_to_completion(output, drivers, rounds=10 * INPUTS)
+        assert sorted(output.result()) == [value * 10 for value in inputs]
+        assert sharded._branches.buffer_depths == [0] * SHARDS
+        assert_shard_accounting(sharded, INPUTS, WORKERS)
+
+    def test_no_wedge_when_a_shards_workers_all_die(self, substream_driver):
+        """A shard whose workers all crash after its slice completed cannot
+        wedge the merged stream: the dead-shard short-circuit terminates it
+        once every read value has been delivered."""
+        sharded = ShardedLender(shards=2, ordered=False)
+        inputs = list(range(40))
+        output = pull(values(inputs), sharded, collect())
+
+        # Shard 1: two workers that hold results back, deliver everything,
+        # then crash.  Shard 0: a healthy auto-delivering worker.
+        doomed = [
+            substream_driver(
+                lend_on(sharded, 1), auto_deliver=False, max_in_flight=1
+            ).start()
+            for _ in range(2)
+        ]
+        substream_driver(lend_on(sharded, 0)).start()
+        for _round in range(10 * len(inputs)):
+            if all(not d.pending_results and d.finished for d in doomed):
+                break
+            for driver in doomed:
+                driver.deliver_all()
+        for driver in doomed:
+            driver.crash()
+        assert output.done
+        assert sorted(output.result()) == [value * 10 for value in inputs]
+
+
+def lend_on(sharded, shard):
+    box = []
+    sharded.lend_stream(lambda err, sub: box.append(sub), shard=shard)
+    return box[0]

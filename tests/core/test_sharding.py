@@ -108,6 +108,76 @@ class TestShardedLender:
         assert output.done
         assert output.result() == [0, 10, 20]
 
+    def test_unordered_delivers_in_completion_order(self, substream_driver):
+        """A fast shard's results are not held back behind a slow sibling:
+        the first deliveries all come from shard 1 while shard 0 stalls."""
+        from repro.pullstream import tap
+
+        sharded = ShardedLender(shards=2, ordered=False)
+        inputs = list(range(10))
+        delivered = []
+        output = pull(values(inputs), sharded, tap(delivered.append), collect())
+        slow = substream_driver(
+            lend(sharded, shard=0), auto_deliver=False, max_in_flight=1
+        ).start()
+        fast = substream_driver(lend(sharded, shard=1)).start()
+        # Shard 1 (odd inputs) has delivered everything it can; shard 0
+        # holds its first result back.  In ordered mode nothing would have
+        # reached the sink yet (global value 0 belongs to shard 0).
+        assert not output.done
+        assert delivered == [value * 10 for value in (1, 3, 5, 7, 9)]
+        slow.deliver_all()
+        while not output.done:
+            slow.deliver_all()
+        assert sorted(output.result()) == [value * 10 for value in inputs]
+
+    def test_unordered_dead_shard_cannot_wedge_a_completed_stream(
+        self, substream_driver
+    ):
+        """Unordered mode keeps the total() short-circuit: once every read
+        value has been delivered, the merge terminates without waiting on a
+        shard whose only worker crashed."""
+        sharded = ShardedLender(shards=2, ordered=False)
+        output = pull(values([0, 1, 2]), sharded, collect())
+        slow = substream_driver(
+            lend(sharded, shard=1), auto_deliver=False, max_in_flight=1
+        ).start()
+        substream_driver(lend(sharded, shard=0)).start()
+        assert not output.done
+        slow.deliver_all()
+        slow.crash()
+        assert output.done
+        assert sorted(output.result()) == [0, 10, 20]
+
+    def test_unordered_worker_crash_relends_within_its_shard(
+        self, substream_driver
+    ):
+        sharded = ShardedLender(shards=2, ordered=False)
+        inputs = list(range(20))
+        output = pull(values(inputs), sharded, collect())
+        crasher = substream_driver(
+            lend(sharded, shard=0), crash_after=3, auto_deliver=False
+        ).start()
+        healthy = [
+            substream_driver(lend(sharded, shard=shard), auto_deliver=False)
+            .start()
+            for shard in (0, 1)
+        ]
+        crasher.crash()
+        for _ in range(10 * len(inputs)):
+            if output.done:
+                break
+            for driver in healthy:
+                driver.deliver_all()
+        assert output.done
+        assert sorted(output.result()) == [value * 10 for value in inputs]
+        stats = sharded.shard_stats
+        assert stats[0].substreams_failed == 1
+        assert stats[1].substreams_failed == 0
+        assert stats[0].values_relent >= 1
+        assert sharded.outstanding == 0
+        assert sharded.relendable == 0
+
     def test_input_error_propagates_like_a_single_lender(self, substream_driver):
         """Regression: when the input errors after its last value, the merged
         output must report the error (as one StreamLender does), not present
@@ -240,13 +310,46 @@ class TestDistributedMapSharded:
         finally:
             dmap.close()
 
-    def test_unordered_sharded_map_raises(self):
-        with pytest.raises(PandoError):
-            DistributedMap(ordered=False, shards=2)
+    def test_unordered_sharded_map_local_workers(self):
+        dmap = DistributedMap(ordered=False, shards=2)
+        assert not dmap.lender.ordered
+        sink = pull(values(list(range(20))), dmap, collect())
+        handles = [
+            dmap.add_local_worker(lambda v, cb: cb(None, v * v)) for _ in range(2)
+        ]
+        assert [handle.shard for handle in handles] == [0, 1]
+        assert sorted(sink.result()) == [v * v for v in range(20)]
+        assert dmap.stats.results_delivered == 20
+
+    def test_unordered_sharded_pools_drive_completes(self):
+        dmap = DistributedMap(ordered=False, shards=2, batch_size=2)
+        sink = pull(values(list(range(12))), dmap, collect())
+        try:
+            for _ in range(2):
+                dmap.add_process_pool("repro.pool.workloads:square", processes=1)
+            dmap.drive(sink, timeout=60)
+            assert sorted(sink.result()) == [v * v for v in range(12)]
+        finally:
+            dmap.close()
 
     def test_invalid_shard_count_raises(self):
         with pytest.raises(ValueError):
             DistributedMap(shards=0)
+
+    def test_split_buffer_requires_shards(self):
+        with pytest.raises(ValueError):
+            DistributedMap(split_buffer=4)
+        with pytest.raises(ValueError):
+            DistributedMap(shards=2, split_buffer=0)
+
+    def test_split_buffer_threads_through_to_the_splitter(self):
+        dmap = DistributedMap(shards=2, split_buffer=3)
+        assert dmap.lender.max_buffer == 3
+        sink = pull(values(list(range(10))), dmap, collect())
+        for _ in range(2):
+            dmap.add_local_worker(lambda v, cb: cb(None, v))
+        assert sink.result() == list(range(10))
+        assert dmap.lender._branches.max_buffer == 3
 
     def test_drive_stall_is_diagnosed(self):
         """A shard with no worker cannot progress; drive() raises instead of

@@ -61,6 +61,13 @@ class TestExamples:
         assert "rendered 4 frames" in stdout
         assert "2 processes" in stdout
 
+    def test_unordered_search_small(self):
+        stdout = run_example(
+            "unordered_search.py", "--slow-count", "20000", "--shards", "2"
+        )
+        assert "found nonce" in stdout
+        assert "cancelled" in stdout
+
 
 class TestUnixPipeline:
     """The full Figure-3 pipeline via the console-script entry points."""

@@ -13,4 +13,5 @@ python -m pytest \
     benchmarks/bench_pool_speedup.py \
     benchmarks/bench_shard_scaling.py \
     benchmarks/bench_unordered_scaling.py \
+    benchmarks/bench_event_loop.py \
     -q --benchmark-disable "$@"

@@ -7,6 +7,8 @@ The package provides:
   sinks, async-map, pushable, duplex);
 * :mod:`repro.core` — the paper's contribution: ``StreamLender``, ``Limiter``,
   ``stubborn`` and ``DistributedMap``;
+* :mod:`repro.sched` — the asyncio scheduler subsystem: one event loop
+  driving pools, simulated channels and pushable ports concurrently;
 * :mod:`repro.net` — simulated WebSocket/WebRTC channels, heartbeats,
   signalling server and NAT model;
 * :mod:`repro.devices` — the Table-2 device catalogue and simulated devices;
@@ -58,6 +60,7 @@ from .core import (
 )
 from .master import Bundle, MasterConfig, PandoMaster, bundle_function, bundle_module
 from .pool import ProcessPoolWorker
+from .sched import EventLoopScheduler
 from .errors import (
     BundlingError,
     ConnectionClosed,
@@ -101,6 +104,8 @@ __all__ = [
     "stubborn",
     # process-pool backend
     "ProcessPoolWorker",
+    # event-loop scheduler
+    "EventLoopScheduler",
     # master
     "Bundle",
     "MasterConfig",

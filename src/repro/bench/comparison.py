@@ -36,6 +36,8 @@ __all__ = [
     "UnorderedShardingComparison",
     "compare_unordered_sharding",
     "crypto_search_inputs",
+    "EventLoopComparison",
+    "compare_event_loop",
 ]
 
 
@@ -210,6 +212,118 @@ def compare_backends(
         local_seconds=local_seconds,
         pool_seconds=pool_seconds,
         results_match=local_results == pool_results,
+    )
+
+
+# --------------------------------------------------------------------------
+# Delivery drivers: blocking single master vs. the asyncio event loop.
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class EventLoopComparison:
+    """Measured wall-clock of one single master driven two different ways.
+
+    Both arms are the **same topology** — one unsharded ``DistributedMap``
+    with *pools* process pools of *processes_per_pool* each — so the
+    measured difference is purely the delivery driver: blocking pool
+    sources, whose head-of-line ``future.result()`` waits serialise the
+    pools on the interpreter thread, against non-blocking sources pumped
+    concurrently by one :class:`~repro.sched.EventLoopScheduler`.
+    """
+
+    workload: str
+    values: int
+    pools: int
+    processes_per_pool: int
+    batch_size: int
+    blocking_seconds: float
+    event_loop_seconds: float
+    results_match: bool
+    #: results delivered by each pool of the event-loop arm
+    per_pool_delivered: List[int]
+
+    @property
+    def speedup(self) -> float:
+        """Event-loop speedup over the blocking single-master path."""
+        if self.event_loop_seconds <= 0:
+            return float("inf")
+        return self.blocking_seconds / self.event_loop_seconds
+
+
+def compare_event_loop(
+    fn_ref: Any,
+    inputs: Iterable[Any],
+    pools: int = 2,
+    processes_per_pool: int = 1,
+    batch_size: int = 2,
+    window: Optional[int] = None,
+    workload: Optional[str] = None,
+) -> EventLoopComparison:
+    """Run *inputs* through one unsharded master, blocking then event-loop.
+
+    The blocking arm attaches *pools* blocking pools: the first pool's
+    head-of-line drain monopolises the interpreter thread, so the later
+    pools idle (today's default multi-pool behaviour without sharding).
+    The event-loop arm attaches the same pools non-blocking under an
+    :class:`~repro.sched.EventLoopScheduler`, which delivers each pool's
+    results as its futures complete — the single-master multi-pool
+    concurrency the sharded topology previously required.  Both runs
+    include pool start-up, which is the honest number a user experiences.
+    """
+    from ..core.distributed_map import DistributedMap
+    from ..pullstream import collect, pull, values
+
+    items = list(inputs)
+
+    start = time.perf_counter()
+    blocking = DistributedMap(batch_size=max(1, batch_size))
+    blocking_sink = pull(values(items), blocking, collect())
+    try:
+        for _ in range(pools):
+            blocking.add_process_pool(
+                fn_ref,
+                processes=processes_per_pool,
+                batch_size=batch_size,
+                window=window,
+            )
+        blocking_results = blocking_sink.result()
+    finally:
+        blocking.close()
+    blocking_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    looped = DistributedMap(batch_size=max(1, batch_size), scheduler="asyncio")
+    looped_sink = pull(values(items), looped, collect())
+    try:
+        for _ in range(pools):
+            looped.add_process_pool(
+                fn_ref,
+                processes=processes_per_pool,
+                batch_size=batch_size,
+                window=window,
+            )
+        looped.drive(looped_sink)
+        looped_results = looped_sink.result()
+        per_pool = [
+            handle.pool.results_returned
+            for handle in looped.workers.values()
+            if handle.pool is not None
+        ]
+    finally:
+        looped.close()
+    event_loop_seconds = time.perf_counter() - start
+
+    return EventLoopComparison(
+        workload=workload or repr(fn_ref),
+        values=len(items),
+        pools=pools,
+        processes_per_pool=processes_per_pool,
+        batch_size=batch_size,
+        blocking_seconds=blocking_seconds,
+        event_loop_seconds=event_loop_seconds,
+        results_match=blocking_results == looped_results,
+        per_pool_delivered=per_pool,
     )
 
 

@@ -110,6 +110,16 @@ def build_parser() -> argparse.ArgumentParser:
         "shard stalls (default: unbounded)",
     )
     parser.add_argument(
+        "--scheduler",
+        choices=["thread", "asyncio"],
+        default="thread",
+        help="who pumps non-blocking pool results: 'thread' waits on the "
+        "pools' head futures directly, 'asyncio' registers every pool with "
+        "one event loop so multiple pools compute concurrently even without "
+        "--shards (and a find-style abort cancels their queued tasks "
+        "immediately)",
+    )
+    parser.add_argument(
         "--count",
         type=int,
         default=None,
@@ -169,6 +179,7 @@ def run_pipeline(
     fn_ref: Any = None,
     shards: int = 1,
     split_buffer: Optional[int] = None,
+    scheduler: str = "thread",
 ) -> List[Any]:
     """Run the distributed map and return the results.
 
@@ -185,12 +196,18 @@ def run_pipeline(
     ``ordered=False`` on a sharded run merges the shard outputs in
     completion order, and *split_buffer* caps the splitter's per-shard
     buffering (see :class:`~repro.core.distributed_map.DistributedMap`).
+
+    ``scheduler="asyncio"`` drives the pools through one
+    :class:`~repro.sched.EventLoopScheduler` instead of the thread driver —
+    the configuration where several pools compute concurrently on a single
+    unsharded master.
     """
     dmap = DistributedMap(
         ordered=ordered,
         batch_size=batch_size,
         shards=shards,
         split_buffer=split_buffer,
+        scheduler="asyncio" if scheduler == "asyncio" else None,
     )
     sink = pull(from_iterable(inputs), dmap, collect())
     try:
@@ -262,6 +279,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--simulate does not support --shards (simulated "
                      "deployments run a single master)")
         return 2  # pragma: no cover - parser.error raises
+    if args.scheduler == "asyncio" and args.simulate is not None:
+        parser.error("--simulate does not support --scheduler asyncio "
+                     "(simulated deployments spin their own virtual-time loop)")
+        return 2  # pragma: no cover - parser.error raises
 
     stderr.write(f"Serving volunteer code at http://127.0.0.1:{args.port}\n")
 
@@ -293,6 +314,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         fn_ref=fn_ref,
         shards=args.shards,
         split_buffer=args.split_buffer,
+        scheduler=args.scheduler,
     )
     for result in results:
         _emit(result, sys.stdout)

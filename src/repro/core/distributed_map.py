@@ -90,6 +90,14 @@ class DistributedMap:
     splitter's per-shard buffering: a shard stalled N values behind parks
     the input pump (back-pressure on the faster shards) instead of growing
     its backlog without bound.
+
+    ``scheduler`` selects who pumps the non-blocking sources.  ``None`` (the
+    default) keeps the thread driver: :meth:`drive` waits on the pools' head
+    futures directly.  ``"asyncio"`` — or an explicit
+    :class:`~repro.sched.EventLoopScheduler` instance, which may be shared
+    with simulated channels and other maps — makes every pool non-blocking
+    (even on an unsharded map, so **2+ pools on a single master compute
+    concurrently**) and :meth:`drive` spins the event loop instead.
     """
 
     pull_role = "through"
@@ -100,6 +108,7 @@ class DistributedMap:
         batch_size: int = 1,
         shards: int = 1,
         split_buffer: Optional[int] = None,
+        scheduler: Optional[Any] = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -114,6 +123,20 @@ class DistributedMap:
         self.batch_size = batch_size
         self.shards = shards
         self.split_buffer = split_buffer
+        self._owns_scheduler = False
+        if scheduler == "asyncio":
+            from ..sched import EventLoopScheduler
+
+            scheduler = EventLoopScheduler()
+            self._owns_scheduler = True
+        elif isinstance(scheduler, str):
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}: pass None (thread driver), "
+                f"'asyncio', or an EventLoopScheduler instance"
+            )
+        #: the :class:`~repro.sched.EventLoopScheduler` pumping this map's
+        #: non-blocking sources, or ``None`` for the thread driver
+        self.scheduler = scheduler
         if shards > 1:
             #: the single lender or the sharded multi-master composition
             self.lender: Any = ShardedLender(
@@ -215,16 +238,18 @@ class DistributedMap:
         remote channel: the sub-stream fails and borrowed values are re-lent.
 
         ``blocking`` selects the pool's result-delivery mode and defaults to
-        the map's: on a sharded map (``shards > 1``) pools are non-blocking,
-        so several of them can pump concurrently under :meth:`drive`; on a
+        the map's: on a sharded map (``shards > 1``) or a map with an event
+        -loop ``scheduler`` pools are non-blocking, so several of them can
+        pump concurrently under :meth:`drive`; on a thread-driven
         single-master map the source blocks on the head-of-line future and
-        no drive loop is needed.
+        no drive loop is needed.  Non-blocking pools are auto-registered
+        with the map's scheduler when one is attached.
         """
         from ..pool import ProcessPoolWorker, default_window
 
         worker_id = self._claim_worker_id(worker_id)
         if blocking is None:
-            blocking = self.shards == 1
+            blocking = self.shards == 1 and self.scheduler is None
         # The executor spawns its processes lazily, so creating the pool
         # before the late-attachment check in _lend_substream costs nothing;
         # on failure it is closed before the error propagates.
@@ -239,6 +264,11 @@ class DistributedMap:
             limiter = Limiter(
                 pool, window if window is not None else default_window(pool.processes)
             )
+            # Register before lending: a failed lend leaves only an inert
+            # source behind (the closed pool never reports ready), whereas a
+            # failed registration after lending would orphan a sub-stream.
+            if self.scheduler is not None and not blocking:
+                self.scheduler.register_pool(pool)
             sub = self._lend_substream(worker_id)
         except Exception:
             pool.close()
@@ -301,18 +331,28 @@ class DistributedMap:
         *sinks: SinkResult,
         timeout: Optional[float] = None,
         poll_interval: float = 0.05,
+        cancel_on_abort: bool = True,
     ) -> None:
         """Pump the attached non-blocking process pools until *sinks* complete.
 
-        Non-blocking pools (the default on a sharded map) park their result
-        asks instead of blocking the interpreter thread on the head-of-line
-        future, so somebody must deliver completed futures back into the
-        stream machinery.  This loop is that somebody: it waits on the pools'
-        head futures (first-completed), polls every pool, and repeats until
-        each given :class:`~repro.pullstream.sinks.SinkResult` is done.  All
+        Non-blocking pools (the default on a sharded map or under an event
+        -loop scheduler) park their result asks instead of blocking the
+        interpreter thread on the head-of-line future, so somebody must
+        deliver completed futures back into the stream machinery.  With a
+        ``scheduler`` attached, this is a thin wrapper that spins the
+        :class:`~repro.sched.EventLoopScheduler` until the sinks complete;
+        otherwise the thread driver below waits on the pools' head futures
+        (first-completed), polls every pool, and repeats.  Either way all
         stream callbacks run on the calling thread, so the single-threaded
-        pull-stream machinery needs no locks — only the ``future.result()``
-        waits overlap, which is exactly where the compute time is.
+        pull-stream machinery needs no locks.
+
+        ``cancel_on_abort`` (default True) is the cancellation fan-out fast
+        path: the moment the map's output aborts — a ``find`` sink hit, or
+        any sink that cut the stream short — every attached pool's
+        submitted-but-not-yet-running future is cancelled, returning the
+        cores immediately instead of computing results nobody can receive.
+        Pass False to keep the old behaviour (tasks run to completion and
+        are dropped), e.g. to measure the difference.
 
         A map with only blocking pools or local workers completes during
         attachment; calling ``drive`` afterwards returns immediately.
@@ -325,10 +365,25 @@ class DistributedMap:
         from concurrent.futures import FIRST_COMPLETED
         from concurrent.futures import wait as wait_futures
 
+        if self.scheduler is not None:
+            self.scheduler.run(
+                *sinks,
+                timeout=timeout,
+                poll_interval=poll_interval,
+                aborted=(self._abort_pending(sinks) if cancel_on_abort else None),
+                on_abort=self._cancel_pool_pending,
+            )
+            return
+
         deadline = None if timeout is None else time.monotonic() + timeout
+        aborted = self._abort_pending(sinks) if cancel_on_abort else None
+        cancelled = False
         while not all(sink.done for sink in sinks):
             if deadline is not None and time.monotonic() > deadline:
                 raise PandoError("DistributedMap.drive timed out")
+            if aborted is not None and not cancelled and aborted():
+                cancelled = True
+                self._cancel_pool_pending()
             progressed = False
             for pool in self._pools:
                 progressed = pool.poll() or progressed
@@ -346,6 +401,33 @@ class DistributedMap:
                     "shard served by at least one worker?)"
                 )
             wait_futures(futures, timeout=poll_interval, return_when=FIRST_COMPLETED)
+        # The final poll may have delivered the aborting value (the find hit
+        # that completed the last sink): cancel the queued futures now, so
+        # the cores come back without waiting for close().
+        if aborted is not None and not cancelled and aborted():
+            self._cancel_pool_pending()
+
+    def _abort_pending(self, sinks) -> Callable[[], bool]:
+        """Predicate: the stream aborted, queued pool work is now garbage."""
+
+        def aborted() -> bool:
+            return self.closed or any(sink.aborted for sink in sinks)
+
+        return aborted
+
+    def _cancel_pool_pending(self) -> int:
+        """Cancel every pool's submitted-but-not-yet-running frames.
+
+        A pool whose sub-stream already closed (which an abort does to every
+        attached worker) is cancelled *forcibly*: its results are provably
+        undeliverable even though the stream termination may still be parked
+        in its Limiter gate on the way to the pool.
+        """
+        total = 0
+        for handle in self._workers.values():
+            if handle.pool is not None:
+                total += handle.pool.cancel_pending(force=handle.closed)
+        return total
 
     # ------------------------------------------------------------ lifecycle
     @property
@@ -361,9 +443,14 @@ class DistributedMap:
         return self.lender.ended
 
     def close(self) -> None:
-        """Release every process pool attached to this map (idempotent)."""
+        """Release every attached process pool — and the event-loop
+        scheduler, when the map created it (``scheduler="asyncio"``); a
+        shared scheduler instance passed in by the caller is left running.
+        Idempotent."""
         for pool in self._pools:
             pool.close()
+        if self._owns_scheduler and self.scheduler is not None:
+            self.scheduler.close()
 
     def __enter__(self) -> "DistributedMap":
         return self

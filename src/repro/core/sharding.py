@@ -139,16 +139,25 @@ class ShardedLender:
 
         Closed sub-streams — normal completion or crash-stop — do not count,
         so a shard that lost workers becomes the preferred placement for the
-        next attachment (rebalancing under churn).  Ties are broken by the
-        number of sub-streams ever opened (then by index), which spreads
-        synchronous workers — whose sub-streams complete and close before the
-        next attachment — round-robin instead of piling them on shard 0.
+        next attachment (rebalancing under churn).  With ``max_buffer`` set,
+        ties between equally-loaded shards break towards the shard whose
+        split-branch buffer is **deepest**: that shard is the one whose
+        stall is parking the shared input pump, so it is where an extra
+        worker relieves the whole pipeline, not just its own slice.
+        Remaining ties are broken by the number of sub-streams ever opened
+        (then by index), which spreads synchronous workers — whose
+        sub-streams complete and close before the next attachment —
+        round-robin instead of piling them on shard 0.
         """
+        depths: Optional[List[int]] = None
+        if self.max_buffer is not None and self._branches is not None:
+            depths = self._branches.buffer_depths
 
         def load(index: int) -> tuple:
             subs = self._shards[index].substreams
             open_count = sum(1 for sub in subs if not sub.closed)
-            return (open_count, len(subs), index)
+            backlog = -depths[index] if depths is not None else 0
+            return (open_count, backlog, len(subs), index)
 
         return min(range(len(self._shards)), key=load)
 

@@ -75,6 +75,7 @@ class ChannelEndpoint:
         self.data_frames_sent = 0
         self.values_sent = 0
         self._close_listeners: List[Callable[[Optional[BaseException]], None]] = []
+        self._receive_listeners: List[Callable[[Any], None]] = []
         self._heartbeats_enabled = heartbeats_enabled
         self.heartbeat = HeartbeatMonitor(
             channel.scheduler,
@@ -128,6 +129,17 @@ class ChannelEndpoint:
     def on_close(self, listener: Callable[[Optional[BaseException]], None]) -> None:
         """Register *listener* to run when this endpoint closes or fails."""
         self._close_listeners.append(listener)
+
+    def on_receive(self, listener: Callable[[Any], None]) -> None:
+        """Register ``listener(payload)`` for every DATA frame delivered.
+
+        Fires after the payload entered the endpoint's incoming buffer, i.e.
+        once the value is visible to the pull side.  The event-loop
+        interleaving benches use this to trace a channel's progress next to
+        the pools sharing the loop; metrics collectors can hook it without
+        wrapping the duplex.
+        """
+        self._receive_listeners.append(listener)
 
     def _shutdown(
         self, reason: Optional[BaseException], notify_source: bool = True
@@ -236,6 +248,8 @@ class ChannelEndpoint:
             return
         if message.kind == DATA:
             self._incoming.push(message.payload)
+            for listener in list(self._receive_listeners):
+                listener(message.payload)
             return
         if message.kind == CONTROL:
             self.channel.on_control(self, message.payload)

@@ -111,6 +111,8 @@ class ProcessPoolWorker:
         self.tasks_submitted = 0
         self.values_dispatched = 0
         self.results_returned = 0
+        #: frames cancelled before their task ever ran (cancellation fan-out)
+        self.tasks_cancelled = 0
         self.source = self._make_source()
         self.sink = self._make_sink()
 
@@ -234,23 +236,30 @@ class ProcessPoolWorker:
         waiting(termination, None)
 
     # ----------------------------------------------------- polled delivery
-    def poll(self) -> bool:
+    def poll(self, limit: Optional[int] = None) -> bool:
         """Deliver ready results to a parked ask (non-blocking mode).
 
         Returns True when at least one result (or the final termination) was
         handed to the parked callback.  The delivery cascade usually parks a
         fresh ask, so the loop keeps draining as long as the new head-of-line
-        future is already done.
+        future is already done.  *limit* bounds the number of results
+        delivered per call — the event-loop scheduler polls with ``limit=1``
+        so one hot pool with a backlog of done futures cannot starve the
+        other sources sharing its dispatch round.
         """
         delivered = False
+        budget = limit
         while (
             self._result_waiting is not None
             and self._pending
             and self._pending[0][0].done()
+            and (budget is None or budget > 0)
         ):
             waiting, self._result_waiting = self._result_waiting, None
             self._deliver(waiting)
             delivered = True
+            if budget is not None:
+                budget -= 1
         if (
             self._result_waiting is not None
             and not self._pending
@@ -260,10 +269,67 @@ class ProcessPoolWorker:
             delivered = True
         return delivered
 
+    def cancel_pending(self, force: bool = False) -> int:
+        """Cancel every submitted frame whose task has not started running.
+
+        Returns the number of frames cancelled (also accumulated in
+        :attr:`tasks_cancelled`).  This is the cancellation fan-out fast
+        path: after a downstream abort (a ``find`` hit), the results of the
+        frames still queued behind the running ones can never be delivered,
+        so waiting for their tasks to compute only wastes the cores.
+
+        Cancelling is only legal once no result can still be consumed — a
+        frame removed from the pending queue would otherwise be silently
+        missing from the result stream (or, in a lender composition, be
+        matched against the wrong borrowed value).  The pool itself can only
+        prove that once it is closed, where shutdown has already reaped the
+        queue — so without *force* the call is a conservative no-op.
+        *force* is for the driver that **knows** the downstream aborted
+        out-of-band (the abort may still be parked in a Limiter gate on its
+        way here): the caller asserts no delivered result will be consumed.
+        A forced cancellation that empties the queue shuts the pool down —
+        with no task running and the downstream gone, nothing can ever be
+        owed again.
+        """
+        if not force and self._closed is None:
+            return 0
+        kept: Deque[Tuple[Future, bool]] = deque()
+        cancelled = 0
+        while self._pending:
+            future, was_batch = self._pending.popleft()
+            if future.cancel():
+                cancelled += 1
+            else:
+                kept.append((future, was_batch))
+        self._pending = kept
+        self.tasks_cancelled += cancelled
+        if (
+            force
+            and not self._pending
+            and self._upstream_ended is None
+            and self._closed is None
+        ):
+            self._shutdown(DONE)
+        else:
+            # Dropping the queued frames may leave nothing owed: answer a
+            # parked result ask with the termination so the sub-stream
+            # closes now.
+            self._maybe_finish()
+        return cancelled
+
     @property
     def waiting(self) -> bool:
         """True while a result ask is parked (awaiting poll or new input)."""
         return self._result_waiting is not None
+
+    @property
+    def deliverable(self) -> bool:
+        """True when :meth:`poll` would hand something to the parked ask."""
+        if self._result_waiting is None:
+            return False
+        if self._pending:
+            return self._pending[0][0].done()
+        return self._upstream_ended is not None or self._closed is not None
 
     @property
     def head_future(self) -> Optional[Future]:
@@ -277,8 +343,11 @@ class ProcessPoolWorker:
         executor, self._executor = self._executor, None
         if executor is not None:
             for future, _was_batch in self._pending:
-                future.cancel()
-            executor.shutdown(wait=False)
+                if future.cancel():
+                    self.tasks_cancelled += 1
+            # cancel_futures reaps work items that future.cancel() cannot
+            # reach any more (already handed to the executor's call queue).
+            executor.shutdown(wait=False, cancel_futures=True)
         # Cancelled futures must not be delivered by a later read: they would
         # surface as WorkerCrashed instead of the recorded close reason.
         self._pending.clear()

@@ -13,12 +13,27 @@ import hashlib
 import time
 from typing import Any, Dict
 
-__all__ = ["echo", "square", "sleep_echo", "spin", "render_frame", "search_nonces"]
+__all__ = [
+    "echo",
+    "square",
+    "times10",
+    "sleep_echo",
+    "spin",
+    "render_frame",
+    "search_nonces",
+]
 
 
 def echo(value: Any) -> Any:
     """Identity — the no-op baseline for dispatch-overhead measurements."""
     return value
+
+
+def times10(value: Any) -> Any:
+    """Multiply by ten — the test suite's SubStreamDriver convention, so a
+    pool can serve the same map as driver-backed and channel-backed workers
+    in the mixed-source scheduler tests."""
+    return value * 10
 
 
 def square(value: Any) -> Any:

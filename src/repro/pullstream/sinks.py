@@ -44,12 +44,19 @@ class SinkResult:
     value:
         The sink-specific result (list for ``collect``, accumulator for
         ``reduce``, matched element for ``find``, count for ``drain``).
+    aborted:
+        True when the sink itself cut the stream short (a ``find`` hit, a
+        ``drain`` op returning False) rather than the upstream terminating.
+        Drivers use this to trigger cancellation fan-out: an aborted stream
+        will never deliver another value, so work still queued on attached
+        pools can be cancelled immediately.
     """
 
     def __init__(self) -> None:
         self.done = False
         self.end: End = None
         self.value: Any = None
+        self.aborted = False
         self._callbacks: List[Callable[["SinkResult"], None]] = []
 
     def _finish(self, end: End, value: Any) -> None:
@@ -86,10 +93,12 @@ def _ask_loop(
     read: Source,
     on_value: Callable[[Any], bool],
     finish: Callable[[End], None],
+    on_abort: Optional[Callable[[], None]] = None,
 ) -> None:
     """Drive *read* until termination without unbounded recursion.
 
-    ``on_value`` returns False to abort the stream early.
+    ``on_value`` returns False to abort the stream early; *on_abort* (if
+    given) runs right before the abort is issued upstream.
     """
     state = {"looping": False, "pending": False, "aborted": False}
 
@@ -113,6 +122,8 @@ def _ask_loop(
                 keep_going = on_value(value)
                 if keep_going is False:
                     state["aborted"] = True
+                    if on_abort is not None:
+                        on_abort()
                     read(DONE, lambda _e, _v: finish(DONE))
                     return
                 ask()
@@ -211,7 +222,10 @@ def drain(
             if done is not None:
                 done(end)
 
-        _ask_loop(read, on_value, finish)
+        def on_abort() -> None:
+            result.aborted = True
+
+        _ask_loop(read, on_value, finish, on_abort=on_abort)
         return result
 
     sink.pull_role = "sink"
@@ -292,7 +306,10 @@ def find(
             if done is not None:
                 done(end, result.value)
 
-        _ask_loop(read, on_value, finish)
+        def on_abort() -> None:
+            result.aborted = True
+
+        _ask_loop(read, on_value, finish, on_abort=on_abort)
         return result
 
     sink.pull_role = "sink"

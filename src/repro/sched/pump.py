@@ -1,0 +1,115 @@
+"""The async pump: one coroutine that subsumes every hand-rolled drive loop.
+
+``DistributedMap.drive`` used to be a wait loop that only understood process
+pools; the simulated deployments spun their own virtual-time loop; and the
+channel-style sinks eagerly drained their upstreams with
+:func:`~repro.pullstream.sinks.eager_pump`.  :func:`async_pump` replaces the
+waiting part of all of them with one structure::
+
+    while a sink is still pending:
+        dispatch one fair round across every registered source
+        if something progressed: continue        # stay hot, no await
+        arm every source (future callbacks, loop timers)
+        if nothing is ready and nothing can become ready: raise (stalled)
+        await the wake event (with a safety-net poll interval)
+
+The pump never blocks the thread on any single source — the defining
+difference from the blocking pool path — and it checks the abort predicate
+between rounds so a ``find`` hit cancels the pools' queued futures within
+one round of the hit being delivered, not after the stream terminations
+meander through every shard.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Callable, Optional, Sequence
+
+from ..errors import PandoError
+from ..pullstream.sinks import SinkResult
+
+__all__ = ["async_pump"]
+
+
+async def async_pump(
+    scheduler,
+    sinks: Sequence[SinkResult],
+    timeout: Optional[float] = None,
+    poll_interval: Optional[float] = None,
+    aborted: Optional[Callable[[], bool]] = None,
+    on_abort: Optional[Callable[[], int]] = None,
+) -> None:
+    """Dispatch *scheduler*'s sources until every sink completes.
+
+    Runs on the scheduler's private loop (see
+    :meth:`~repro.sched.event_loop.EventLoopScheduler.run`, the sync entry
+    point).  *poll_interval* overrides the scheduler's safety-net wait for
+    this run.  *aborted* is polled between rounds; its first True triggers
+    the cancellation fan-out — via *on_abort* when given, else a forced
+    :meth:`cancel_pools` across every registered source (the predicate's
+    contract: no pool driven by this run will deliver another consumable
+    result).  Raises :class:`~repro.errors.PandoError` on timeout or stall.
+    """
+    deadline = None if timeout is None else time.monotonic() + timeout
+    safety_net = (
+        poll_interval if poll_interval is not None else scheduler.poll_interval
+    )
+    if safety_net <= 0:
+        raise PandoError("poll_interval must be positive")
+    wake = asyncio.Event()
+    scheduler._wake_event = wake
+    cancelled = False
+
+    def fan_out_cancellation() -> bool:
+        nonlocal cancelled
+        if cancelled or aborted is None or not aborted():
+            return cancelled
+        cancelled = True
+        if on_abort is not None:
+            scheduler.cancellations += on_abort()
+        else:
+            scheduler.cancel_pools(force=True)
+        return True
+
+    try:
+        while not all(sink.done for sink in sinks):
+            if deadline is not None and time.monotonic() > deadline:
+                raise PandoError("EventLoopScheduler.run timed out")
+            fan_out_cancellation()
+            if scheduler.dispatch_round() > 0:
+                # Something moved; re-check the sinks before waiting.  An
+                # explicit zero-sleep yields to loop callbacks (timers,
+                # thread-safe wakes) so a dispatch storm cannot starve them.
+                await asyncio.sleep(0)
+                continue
+            if all(sink.done for sink in sinks):
+                break
+            # Nothing ready: arm wake-ups, then re-check to close the race
+            # where a source became ready between the round and the arming.
+            wake.clear()
+            for source in scheduler.sources:
+                source.arm()
+            if scheduler._any_ready():
+                continue
+            if not scheduler._any_live():
+                raise PandoError(
+                    "EventLoopScheduler stalled: a sink has not completed and "
+                    "no registered source can make progress (is every shard "
+                    "served by at least one worker, and is every pool "
+                    "non-blocking?)"
+                )
+            budget = safety_net
+            if deadline is not None:
+                budget = min(budget, max(deadline - time.monotonic(), 0.001))
+            try:
+                await asyncio.wait_for(wake.wait(), budget)
+                scheduler.wakeups += 1
+            except asyncio.TimeoutError:
+                pass
+        # The final dispatch may have aborted the stream (a find hit on the
+        # last delivered value): fan the cancellation out before returning,
+        # so the caller gets the cores back without waiting for close().
+        fan_out_cancellation()
+    finally:
+        scheduler._wake_event = None

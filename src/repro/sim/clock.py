@@ -5,9 +5,16 @@ reference the same :class:`VirtualClock`.  Time is a float number of seconds;
 it only moves forward when the scheduler processes an event, so a five-minute
 Table-2 measurement window (paper section 5.1) runs in milliseconds of real
 time.
+
+Components that interleave simulated time with real time — the asyncio
+:class:`~repro.sched.EventLoopScheduler` pacing a simulation against the
+wall clock, metrics collectors — observe the clock through
+:meth:`VirtualClock.on_advance` listeners instead of polling it.
 """
 
 from __future__ import annotations
+
+from typing import Callable, List
 
 __all__ = ["VirtualClock"]
 
@@ -17,11 +24,20 @@ class VirtualClock:
 
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
+        self._listeners: List[Callable[[float, float], None]] = []
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    def on_advance(self, listener: Callable[[float, float], None]) -> None:
+        """Register ``listener(previous, now)``, called after every advance.
+
+        Listeners fire only when time actually moved (a zero-delta advance is
+        silent), so an event cascade at one instant does not spam observers.
+        """
+        self._listeners.append(listener)
 
     def advance_to(self, timestamp: float) -> None:
         """Move the clock forward to *timestamp*.
@@ -33,13 +49,16 @@ class VirtualClock:
             raise ValueError(
                 f"cannot move time backwards: {timestamp} < {self._now}"
             )
-        self._now = float(timestamp)
+        previous, self._now = self._now, float(timestamp)
+        if self._now > previous:
+            for listener in list(self._listeners):
+                listener(previous, self._now)
 
     def advance_by(self, delta: float) -> None:
         """Move the clock forward by *delta* seconds."""
         if delta < 0:
             raise ValueError(f"cannot advance by a negative delta: {delta}")
-        self._now += float(delta)
+        self.advance_to(self._now + float(delta))
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"<VirtualClock t={self._now:.6f}>"

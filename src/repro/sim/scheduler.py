@@ -102,6 +102,31 @@ class Scheduler:
         """Number of events still queued (including cancelled ones)."""
         return len(self._queue)
 
+    def next_event_time(self) -> Optional[float]:
+        """Virtual timestamp of the next live event (``None`` when idle).
+
+        Cancelled events at the head of the queue are discarded on the way,
+        so the answer is exact — the asyncio scheduler uses it both for stall
+        detection (an idle simulation cannot make progress) and to pace
+        virtual time against the wall clock.
+        """
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Process exactly one live event; False when the queue is empty.
+
+        The single-event granularity is what makes the simulation fair to
+        interleave with other ready-callback sources on one event loop: a
+        long event cascade yields between events instead of monopolising the
+        dispatcher.
+        """
+        if self.next_event_time() is None:
+            return False
+        self._step()
+        return True
+
     def run(self, until: Optional[Callable[[], bool]] = None) -> float:
         """Process events until the queue is empty (or *until* returns True).
 

@@ -132,3 +132,17 @@ class TestShardingComparison:
         assert comparison.results_match
         assert sorted(comparison.per_shard_delivered) == [4, 4]
         assert comparison.speedup > 0
+
+
+class TestEventLoopComparison:
+    def test_compare_event_loop_small_run(self):
+        from repro.bench.comparison import compare_event_loop
+
+        comparison = compare_event_loop(
+            "repro.pool.workloads:echo", list(range(8)), pools=2,
+            processes_per_pool=1, batch_size=2,
+        )
+        assert comparison.results_match
+        assert sum(comparison.per_pool_delivered) == 8
+        assert comparison.speedup > 0
+        assert comparison.pools == 2

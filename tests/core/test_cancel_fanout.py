@@ -1,0 +1,126 @@
+"""Cancellation fan-out after a ``find`` hit (thread driver, no event loop).
+
+Regression suite for the satellite of the scheduler PR: when an unordered
+search aborts on its first hit, ``drive()`` must call ``Future.cancel()`` on
+every pending not-yet-running future of each attached pool instead of
+letting the cores grind through nonce ranges whose results nobody can
+receive.  The tests measure the quantity the roadmap item named —
+submitted-but-uncomputed tasks after the hit — with the fast path on and
+off ("versus today").
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.distributed_map import DistributedMap
+from repro.pool import ProcessPoolWorker
+from repro.pullstream import collect, find, pull, values
+
+SLEEPER = "repro.pool.workloads:sleep_echo"
+
+
+def run_search(cancel_on_abort):
+    """One non-blocking pool, thread driver, find hit on the second value."""
+    dmap = DistributedMap(batch_size=1)
+    inputs = [{"sleep": 0.05, "i": index} for index in range(30)]
+    sink = pull(values(inputs), dmap, find(lambda v: v["i"] == 1))
+    try:
+        dmap.add_process_pool(
+            SLEEPER, processes=2, window=12, blocking=False
+        )
+        dmap.drive(sink, timeout=60, cancel_on_abort=cancel_on_abort)
+        pool = next(iter(dmap.workers.values())).pool
+        return sink, pool, pool.tasks_submitted, pool.tasks_cancelled
+    finally:
+        dmap.close()
+
+
+class TestDriveCancellationFastPath:
+    def test_fast_path_leaves_submitted_tasks_uncomputed(self):
+        sink, pool, submitted, cancelled = run_search(cancel_on_abort=True)
+        assert sink.aborted and sink.result()["i"] == 1
+        # The window kept the pool loaded ahead of the hit...
+        assert submitted > 2
+        # ... and the fan-out cancelled the queued frames the moment the
+        # hit aborted the stream: submitted > computed.
+        assert cancelled > 0
+        assert pool.results_returned < submitted
+
+    def test_versus_today_nothing_is_cancelled_without_the_fast_path(self):
+        sink, pool, submitted, cancelled_before_close = run_search(
+            cancel_on_abort=False
+        )
+        assert sink.aborted
+        # Today's behaviour: every submitted task stays queued/running until
+        # close() reaps it — drive() itself cancels nothing.
+        assert cancelled_before_close == 0
+        # close() (in run_search's finally) then does the reaping, so the
+        # measured drop of the fast path is exactly `cancelled > 0` above.
+        assert pool.tasks_cancelled >= 0
+
+    def test_fast_path_drops_more_uncomputed_work_than_today(self):
+        """The headline measurement: with the fast path, strictly fewer
+        submitted frames ever compute than without it."""
+        _sink, _pool, submitted_fast, cancelled_fast = run_search(True)
+        _sink2, pool_slow, _submitted_slow, _c = run_search(False)
+        computed_ceiling_fast = submitted_fast - cancelled_fast
+        assert cancelled_fast > 0
+        assert computed_ceiling_fast < submitted_fast
+        # Without the fast path every submitted frame was still eligible to
+        # compute when drive() returned (cancellation count was zero then).
+        assert pool_slow.results_returned <= _submitted_slow
+
+
+class TestCancelPendingGuards:
+    def test_cancel_pending_refuses_while_results_are_still_owed(self):
+        """Cancelling mid-stream would desynchronise the frame/borrow
+        pairing; without force the call must refuse."""
+        with ProcessPoolWorker(SLEEPER, processes=1, blocking=False) as pool:
+            sink_feed = values([{"sleep": 0.2, "i": 0}, {"sleep": 0.2, "i": 1}])
+            pool.sink(sink_feed)
+            assert pool.pending == 2
+            assert pool.cancel_pending() == 0
+            assert pool.pending == 2
+
+    def test_forced_cancel_shuts_down_an_emptied_pool(self):
+        with ProcessPoolWorker(SLEEPER, processes=1, blocking=False) as pool:
+            pool.sink(values([{"sleep": 30.0, "i": 0}, {"sleep": 30.0, "i": 1}]))
+            started = time.monotonic()
+            # Give the executor a beat to start the head task so the tail
+            # frame is deterministically cancellable.
+            while pool._pending[0][0].running() and time.monotonic() - started < 5:
+                break
+            cancelled = pool.cancel_pending(force=True)
+            assert cancelled >= 1
+            assert pool.tasks_cancelled == cancelled
+
+    def test_close_cancels_queued_frames_before_shutdown(self):
+        pool = ProcessPoolWorker(SLEEPER, processes=1)
+        pool.sink(values([{"sleep": 5.0, "i": index} for index in range(6)]))
+        assert pool.pending == 6
+        pool.close()
+        # The head frame may already be running; everything queued behind it
+        # must have been cancelled rather than computed.
+        assert pool.tasks_cancelled >= 4
+        assert pool.closed
+
+
+@pytest.mark.parametrize("shards", [1, 2])
+def test_unaborted_runs_cancel_nothing(shards):
+    """The fast path must never fire on a clean drain."""
+    dmap = DistributedMap(batch_size=1, shards=shards)
+    inputs = [{"sleep": 0.001, "i": index} for index in range(8)]
+    sink = pull(values(inputs), dmap, collect())
+    try:
+        for _ in range(shards):
+            dmap.add_process_pool(SLEEPER, processes=1, blocking=False)
+        dmap.drive(sink, timeout=60)
+        assert sink.result() == inputs
+        assert not sink.aborted
+        for handle in dmap.workers.values():
+            assert handle.pool.tasks_cancelled == 0
+    finally:
+        dmap.close()

@@ -61,6 +61,39 @@ class TestShardedLender:
         assert lend(sharded).shard == 0
         assert lend(sharded).shard == 1
 
+    def test_backpressure_tie_break_prefers_deepest_branch_buffer(
+        self, substream_driver
+    ):
+        """With ``max_buffer`` set, an equally-loaded tie goes to the shard
+        whose split-branch buffer is deepest: that shard's stall is what is
+        parking the shared input pump, so that is where an extra worker
+        unblocks the whole pipeline."""
+        sharded = ShardedLender(shards=2, max_buffer=2)
+        pull(values(list(range(12))), sharded, collect())
+        # Shard 0: a hungry worker that drains its slice, forcing shard 1's
+        # branch buffer up to the cap (which parks the pump).  Shard 1: an
+        # idle worker that never asks.
+        substream_driver(lend(sharded, shard=0)).start()
+        lend(sharded, shard=1)
+        assert sharded._branches.buffer_depths == [0, 2]
+        # Open sub-streams tie 1-1; the deeper branch buffer must win.
+        assert sharded.least_loaded_shard() == 1
+        assert lend(sharded).shard == 1
+
+    def test_tie_break_without_buffer_cap_keeps_index_order(
+        self, substream_driver
+    ):
+        """Unbounded splitter: buffer depths are not consulted (the pump is
+        never parked by a backlog), so the equal-load tie falls back to the
+        lowest index as before."""
+        sharded = ShardedLender(shards=2)
+        pull(values(list(range(12))), sharded, collect())
+        substream_driver(lend(sharded, shard=0)).start()
+        lend(sharded, shard=1)
+        assert sharded._branches.buffer_depths[1] > 0
+        assert sharded.least_loaded_shard() == 0
+        assert lend(sharded).shard == 0
+
     def test_worker_crash_is_contained_to_its_shard(self, substream_driver):
         sharded = ShardedLender(shards=2)
         inputs = list(range(20))

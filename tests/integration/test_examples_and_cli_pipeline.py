@@ -68,6 +68,14 @@ class TestExamples:
         assert "found nonce" in stdout
         assert "cancelled" in stdout
 
+    def test_event_loop_master_small(self):
+        stdout = run_example(
+            "event_loop_master.py", "--values", "8", "--sleep", "0.005",
+            "--with-channel",
+        )
+        assert "on one event loop" in stdout
+        assert "channel" in stdout
+
 
 class TestUnixPipeline:
     """The full Figure-3 pipeline via the console-script entry points."""

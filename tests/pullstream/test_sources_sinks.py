@@ -210,3 +210,35 @@ class TestEagerPump:
         assert lender.outstanding == 0
         assert lender.relendable == 1  # the borrowed value is re-lendable
         assert lender.stats.substreams_failed == 1
+
+
+class TestSinkAbortedFlag:
+    """``SinkResult.aborted`` distinguishes a sink-initiated early abort
+    (the trigger for cancellation fan-out) from a natural upstream end."""
+
+    def test_find_hit_sets_aborted(self):
+        result = pull(values([1, 2, 3, 4]), find(lambda v: v == 2))
+        assert result.result() == 2
+        assert result.aborted is True
+
+    def test_find_without_match_is_not_aborted(self):
+        result = pull(values([1, 3, 5]), find(lambda v: v == 2))
+        assert result.result() is None
+        assert result.aborted is False
+
+    def test_drain_op_false_sets_aborted(self):
+        result = pull(values([1, 2, 3]), drain(op=lambda v: v < 2))
+        assert result.done
+        assert result.aborted is True
+
+    def test_collect_of_a_full_stream_is_not_aborted(self):
+        result = pull(values([1, 2]), collect())
+        assert result.result() == [1, 2]
+        assert result.aborted is False
+
+    def test_upstream_error_is_not_an_abort(self):
+        from repro.pullstream import error
+
+        result = pull(error(RuntimeError("boom")), drain())
+        assert result.done
+        assert result.aborted is False

@@ -1,0 +1,350 @@
+"""Unit tests for the asyncio event-loop scheduler subsystem."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.distributed_map import DistributedMap
+from repro.errors import PandoError
+from repro.pullstream import collect, drain, find, pull, values
+from repro.sched import EventLoopScheduler, PushablePort
+from repro.sim.clock import VirtualClock
+from repro.sim.scheduler import Scheduler
+
+SLEEPER = "repro.pool.workloads:sleep_echo"
+
+
+class TestRunWithPools:
+    def test_two_pools_on_one_master_both_deliver(self):
+        with DistributedMap(batch_size=2, scheduler="asyncio") as dmap:
+            inputs = [{"sleep": 0.005, "i": i} for i in range(12)]
+            sink = pull(values(inputs), dmap, collect())
+            dmap.add_process_pool(SLEEPER, processes=1)
+            dmap.add_process_pool(SLEEPER, processes=1)
+            dmap.drive(sink, timeout=30)
+            assert sink.result() == inputs
+            delivered = [
+                handle.pool.results_returned for handle in dmap.workers.values()
+            ]
+            assert sum(delivered) == 12
+            assert all(count > 0 for count in delivered)
+            assert dmap.scheduler.dispatches > 0
+
+    def test_pools_default_non_blocking_under_scheduler(self):
+        with DistributedMap(batch_size=1, scheduler="asyncio") as dmap:
+            pull(values([1, 2, 3]), dmap, collect())
+            handle = dmap.add_process_pool("repro.pool.workloads:echo", processes=1)
+            assert handle.pool.blocking is False
+
+    def test_scheduler_is_reusable_across_runs(self):
+        sched = EventLoopScheduler()
+        try:
+            for _round in range(2):
+                with DistributedMap(batch_size=1, scheduler=sched) as dmap:
+                    sink = pull(values([1, 2, 3]), dmap, collect())
+                    dmap.add_process_pool(
+                        "repro.pool.workloads:times10", processes=1
+                    )
+                    dmap.drive(sink, timeout=30)
+                    assert sink.result() == [10, 20, 30]
+        finally:
+            sched.close()
+
+    def test_owned_scheduler_closes_with_the_map(self):
+        dmap = DistributedMap(batch_size=1, scheduler="asyncio")
+        assert isinstance(dmap.scheduler, EventLoopScheduler)
+        dmap.close()
+        assert dmap.scheduler.closed
+
+    def test_shared_scheduler_survives_map_close(self):
+        sched = EventLoopScheduler()
+        dmap = DistributedMap(batch_size=1, scheduler=sched)
+        dmap.close()
+        assert not sched.closed
+        sched.close()
+
+    def test_unknown_scheduler_string_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedMap(scheduler="uvloop")
+
+
+class TestCancellationFanOut:
+    def test_find_hit_cancels_queued_pool_futures(self):
+        """Cancellation during dispatch: the hit aborts mid-run and the
+        scheduler immediately cancels the pool's not-yet-running futures
+        instead of letting them compute undeliverable results."""
+        with DistributedMap(batch_size=1, scheduler="asyncio") as dmap:
+            inputs = [{"sleep": 0.05, "i": i} for i in range(30)]
+            sink = pull(values(inputs), dmap, find(lambda v: v["i"] == 1))
+            dmap.add_process_pool(SLEEPER, processes=2, window=12)
+            dmap.drive(sink, timeout=60)
+            assert sink.result()["i"] == 1
+            assert sink.aborted
+            pool = next(iter(dmap.workers.values())).pool
+            assert pool.tasks_cancelled > 0
+            assert dmap.scheduler.cancellations == pool.tasks_cancelled
+            # The cancelled frames never computed: fewer results came back
+            # than frames were submitted.
+            assert pool.results_returned < pool.tasks_submitted
+
+    def test_cancel_on_abort_false_keeps_old_behaviour(self):
+        with DistributedMap(batch_size=1, scheduler="asyncio") as dmap:
+            inputs = [{"sleep": 0.02, "i": i} for i in range(10)]
+            sink = pull(values(inputs), dmap, find(lambda v: v["i"] == 1))
+            dmap.add_process_pool(SLEEPER, processes=2, window=6)
+            dmap.drive(sink, timeout=60, cancel_on_abort=False)
+            assert sink.aborted
+            pool = next(iter(dmap.workers.values())).pool
+            assert dmap.scheduler.cancellations == 0
+            # Cancellation then only happens at close() time.
+            submitted = pool.tasks_submitted
+            dmap.close()
+            assert pool.tasks_submitted == submitted
+
+
+class TestGenericAbortFanOut:
+    def test_run_without_on_abort_forces_cancellation_across_sources(self):
+        """A raw scheduler run (no DistributedMap, no on_abort) must honour
+        the module's promise: the abort predicate's first True cancels every
+        registered pool's not-yet-running futures."""
+        sched = EventLoopScheduler()
+        dmap = DistributedMap(batch_size=1, scheduler=sched)
+        try:
+            inputs = [{"sleep": 0.05, "i": index} for index in range(30)]
+            sink = pull(values(inputs), dmap, find(lambda v: v["i"] == 1))
+            dmap.add_process_pool(SLEEPER, processes=2, window=12)
+            # Drive through the scheduler directly, bypassing drive()'s
+            # on_abort plumbing: the generic forced fallback must fire.
+            sched.run(sink, timeout=60, aborted=lambda: sink.aborted)
+            assert sink.aborted
+            pool = next(iter(dmap.workers.values())).pool
+            assert pool.tasks_cancelled > 0
+            assert sched.cancellations == pool.tasks_cancelled
+        finally:
+            dmap.close()
+            sched.close()
+
+    def test_port_sources_have_nothing_to_cancel(self):
+        """The forced fan-out asks every source; a pushable port simply has
+        no cancellable work."""
+        sched = EventLoopScheduler()
+        try:
+            port = sched.register_pushable()
+            sink = find(lambda value: value == 2)(port.pushable)
+            for value in range(6):
+                port.push(value)
+            port.end()
+            sched.run(sink, timeout=30, aborted=lambda: sink.aborted)
+            assert sink.result() == 2
+            assert sink.aborted
+            assert sched.cancellations == 0
+        finally:
+            sched.close()
+
+
+class TestFailureModes:
+    def test_stall_raises_instead_of_hanging(self):
+        """A shard no worker serves can never complete: the scheduler must
+        diagnose the stall, not wait forever."""
+        with DistributedMap(batch_size=1, shards=2, scheduler="asyncio") as dmap:
+            sink = pull(values(list(range(8))), dmap, collect())
+            # Only shard 0 gets a pool; shard 1 starves.
+            dmap.add_process_pool(
+                "repro.pool.workloads:echo", processes=1, worker_id="only"
+            )
+            with pytest.raises(PandoError, match="stalled"):
+                dmap.drive(sink, timeout=30)
+
+    def test_timeout_raises(self):
+        sched = EventLoopScheduler(poll_interval=0.01)
+        try:
+            port = sched.register_pushable()
+            sink = drain()(port.pushable)
+            started = time.monotonic()
+            with pytest.raises(PandoError, match="timed out"):
+                sched.run(sink, timeout=0.05)
+            assert time.monotonic() - started < 5.0
+        finally:
+            sched.close()
+
+    def test_run_requires_a_sink(self):
+        sched = EventLoopScheduler()
+        try:
+            with pytest.raises(PandoError, match="at least one sink"):
+                sched.run()
+        finally:
+            sched.close()
+
+    def test_blocking_pool_rejected(self):
+        from repro.pool import ProcessPoolWorker
+
+        sched = EventLoopScheduler()
+        try:
+            with ProcessPoolWorker("repro.pool.workloads:echo", processes=1) as pool:
+                with pytest.raises(PandoError, match="non-blocking"):
+                    sched.register_pool(pool)
+        finally:
+            sched.close()
+
+    def test_duplicate_registration_rejected(self):
+        sched = EventLoopScheduler()
+        try:
+            port = sched.register_pushable()
+            with pytest.raises(PandoError, match="already registered"):
+                sched.register(port)
+        finally:
+            sched.close()
+
+    def test_register_after_close_rejected(self):
+        sched = EventLoopScheduler()
+        sched.close()
+        with pytest.raises(PandoError, match="closed"):
+            sched.register_pushable()
+
+    def test_invalid_poll_interval_rejected(self):
+        with pytest.raises(ValueError):
+            EventLoopScheduler(poll_interval=0)
+
+    def test_drive_forwards_poll_interval_to_the_run(self):
+        """drive(poll_interval=...) must reach the pump on the scheduler
+        path (regression: it used to be silently dropped)."""
+        with DistributedMap(batch_size=1, scheduler="asyncio") as dmap:
+            sink = pull(values([1]), dmap, collect())
+            dmap.add_process_pool("repro.pool.workloads:echo", processes=1)
+            with pytest.raises(PandoError, match="poll_interval"):
+                dmap.drive(sink, poll_interval=0)
+            dmap.drive(sink, timeout=30, poll_interval=0.2)
+            assert sink.result() == [1]
+
+
+class TestPushablePort:
+    def test_values_pushed_from_another_thread_arrive_on_the_loop(self):
+        sched = EventLoopScheduler()
+        try:
+            port = sched.register_pushable()
+            seen_threads = set()
+            received = []
+
+            def observe(value):
+                seen_threads.add(threading.get_ident())
+                received.append(value)
+
+            sink = drain(op=observe)(port.pushable)
+
+            def producer():
+                for index in range(20):
+                    port.push(index)
+                port.end()
+
+            thread = threading.Thread(target=producer)
+            thread.start()
+            sched.run(sink, timeout=30)
+            thread.join()
+            assert received == list(range(20))
+            assert port.values_ported == 20
+            # The producer ran elsewhere; delivery happened on this thread.
+            assert seen_threads == {threading.get_ident()}
+        finally:
+            sched.close()
+
+    def test_error_terminates_the_stream(self):
+        sched = EventLoopScheduler()
+        try:
+            port = sched.register_pushable()
+            sink = collect()(port.pushable)
+            port.push(1)
+            port.error(RuntimeError("producer exploded"))
+            sched.run(sink, timeout=30)
+            assert sink.done
+            with pytest.raises(RuntimeError, match="exploded"):
+                sink.result()
+        finally:
+            sched.close()
+
+    def test_push_after_end_is_ignored(self):
+        sched = EventLoopScheduler()
+        try:
+            port = sched.register_pushable()
+            sink = collect()(port.pushable)
+            port.push(1)
+            port.end()
+            port.push(2)  # sealed: dropped
+            sched.run(sink, timeout=30)
+            assert sink.result() == [1]
+            assert not port.live()
+        finally:
+            sched.close()
+
+
+class TestSimIntegration:
+    def test_sim_events_run_on_the_loop(self):
+        sim = Scheduler(VirtualClock())
+        fired = []
+        sim.call_later(0.5, lambda: fired.append("a"))
+        sim.call_later(1.0, lambda: fired.append("b"))
+        sched = EventLoopScheduler()
+        try:
+            source = sched.register_sim(sim)
+            port = sched.register_pushable()
+            sink = collect()(port.pushable)
+            port.push("x")
+            port.end()
+            sched.run(sink, timeout=30)
+            assert fired == ["a", "b"]
+            assert source.virtual_elapsed == pytest.approx(1.0)
+        finally:
+            sched.close()
+
+    def test_time_scale_paces_virtual_time_against_the_wall_clock(self):
+        from repro.pullstream import Pushable
+
+        sim = Scheduler(VirtualClock())
+        buffer = Pushable()
+        # The simulated event fires 1 virtual second in; at a 0.05 scale the
+        # loop timer must hold it back for ~50 ms of wall clock.  The sim
+        # callback runs on the loop thread (inside a dispatch), so pushing
+        # straight into the pushable is safe.
+        sim.call_later(1.0, lambda: (buffer.push("late"), buffer.end()))
+        sched = EventLoopScheduler(poll_interval=5.0)
+        try:
+            sched.register_sim(sim, time_scale=0.05)
+            sink = collect()(buffer)
+            started = time.monotonic()
+            sched.run(sink, timeout=30)
+            elapsed = time.monotonic() - started
+            assert sink.result() == ["late"]
+            assert elapsed >= 0.04
+            # The 5-second poll interval cannot have been the wake-up: the
+            # armed loop timer was.
+            assert elapsed < 4.0
+        finally:
+            sched.close()
+
+    def test_invalid_time_scale_rejected(self):
+        sched = EventLoopScheduler()
+        try:
+            with pytest.raises(ValueError):
+                sched.register_sim(Scheduler(VirtualClock()), time_scale=0)
+        finally:
+            sched.close()
+
+
+class TestDispatchListener:
+    def test_listener_observes_every_dispatch(self):
+        sched = EventLoopScheduler()
+        try:
+            seen = []
+            sched.add_dispatch_listener(lambda source: seen.append(source))
+            port = sched.register_pushable()
+            sink = collect()(port.pushable)
+            for index in range(3):
+                port.push(index)
+            port.end()
+            sched.run(sink, timeout=30)
+            assert sink.result() == [0, 1, 2]
+            assert seen == [port] * 4  # three values + the end marker
+        finally:
+            sched.close()

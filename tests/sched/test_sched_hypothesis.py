@@ -1,0 +1,141 @@
+"""Property-based tests of the event-loop dispatch core (hypothesis).
+
+Mirror of ``tests/pullstream/test_split_merge_hypothesis.py`` for the
+scheduler's fair round-robin dispatcher: randomised populations of scripted
+sources — each with its own queue of asks and its own on/off readiness
+schedule — are driven through :meth:`EventLoopScheduler.dispatch_round`
+(a plain synchronous method, no asyncio required), checking on every
+execution that
+
+* every queued ask is dispatched **exactly once** — never duplicated,
+  never dropped — regardless of the readiness interleaving;
+* per-source FIFO order is preserved;
+* dispatch is **fair**: within one round no source dispatches twice, and a
+  source that is ready at every round is never starved by its siblings
+  (it makes progress every round until drained).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sched import EventLoopScheduler
+from repro.sched.sources import EventSource
+
+
+class ScriptedSource(EventSource):
+    """An event source with a scripted readiness schedule and a queue of asks.
+
+    ``ready_pattern`` is consulted by round index (cycled); a source is
+    ready when its pattern says so *and* it still has queued asks.  Each
+    dispatch pops exactly one ask and records it in the shared journal.
+    """
+
+    def __init__(self, index, asks, ready_pattern, journal, round_box):
+        self.index = index
+        self.queue = deque(asks)
+        self.ready_pattern = ready_pattern
+        self.journal = journal
+        self.round_box = round_box
+
+    def _scheduled_ready(self):
+        pattern = self.ready_pattern
+        return pattern[self.round_box[0] % len(pattern)]
+
+    def ready(self):
+        return bool(self.queue) and self._scheduled_ready()
+
+    def dispatch(self):
+        assert self.ready(), "dispatch must only follow a positive ready()"
+        ask = self.queue.popleft()
+        self.journal.append((self.round_box[0], self.index, ask))
+        return True
+
+    def live(self):
+        return bool(self.queue)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    queue_sizes=st.lists(st.integers(min_value=0, max_value=8), min_size=1, max_size=6),
+    patterns=st.lists(
+        st.lists(st.booleans(), min_size=1, max_size=5).filter(any),
+        min_size=1,
+        max_size=6,
+    ),
+)
+def test_dispatch_never_duplicates_or_drops_an_ask(queue_sizes, patterns):
+    sched = EventLoopScheduler()
+    journal = []
+    round_box = [0]
+    sources = []
+    for index, size in enumerate(queue_sizes):
+        pattern = patterns[index % len(patterns)]
+        asks = [(index, seq) for seq in range(size)]
+        sources.append(
+            sched.register(
+                ScriptedSource(index, asks, pattern, journal, round_box)
+            )
+        )
+
+    total = sum(queue_sizes)
+    # Every pattern contains at least one ready round, so each source drains
+    # within len(pattern) rounds per ask; the bound is generous.
+    for _round in range(10 * (total + 1) * 6):
+        if all(not source.queue for source in sources):
+            break
+        sched.dispatch_round()
+        round_box[0] += 1
+    assert all(not source.queue for source in sources), "every ask must drain"
+
+    # Exactly once: the journal is a permutation of every queued ask.
+    dispatched = [entry[2] for entry in journal]
+    expected = [
+        (index, seq)
+        for index, size in enumerate(queue_sizes)
+        for seq in range(size)
+    ]
+    assert sorted(dispatched) == sorted(expected)
+    assert len(set(dispatched)) == len(dispatched)
+
+    # Per-source FIFO order.
+    for index in range(len(queue_sizes)):
+        seqs = [ask[1] for ask in dispatched if ask[0] == index]
+        assert seqs == sorted(seqs)
+
+    # Fairness: within one round, one dispatch per source at most.
+    for round_index in set(entry[0] for entry in journal):
+        indices = [entry[1] for entry in journal if entry[0] == round_index]
+        assert len(indices) == len(set(indices))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    queue_sizes=st.lists(st.integers(min_value=1, max_value=6), min_size=2, max_size=5),
+)
+def test_always_ready_sources_are_never_starved(queue_sizes):
+    """With every source permanently ready, each makes progress every round
+    until it drains — the strict-rotation guarantee that keeps one hot pool
+    from starving a channel."""
+    sched = EventLoopScheduler()
+    journal = []
+    round_box = [0]
+    sources = [
+        sched.register(
+            ScriptedSource(index, [(index, seq) for seq in range(size)], [True],
+                           journal, round_box)
+        )
+        for index, size in enumerate(queue_sizes)
+    ]
+
+    for _round in range(max(queue_sizes)):
+        sched.dispatch_round()
+        round_box[0] += 1
+    assert all(not source.queue for source in sources)
+
+    # Every source dispatched exactly once per round while it had asks.
+    for index, size in enumerate(queue_sizes):
+        rounds = [entry[0] for entry in journal if entry[1] == index]
+        assert rounds == list(range(size))

@@ -229,3 +229,46 @@ class TestMetrics:
         metrics = MetricsCollector()
         metrics.record_work("w", 1.0, 2.0)
         assert metrics.worker("w").utilisation(4.0) == pytest.approx(0.5)
+
+
+class TestClockListeners:
+    def test_on_advance_reports_every_move(self):
+        clock = VirtualClock()
+        moves = []
+        clock.on_advance(lambda prev, now: moves.append((prev, now)))
+        clock.advance_to(1.5)
+        clock.advance_by(0.5)
+        assert moves == [(0.0, 1.5), (1.5, 2.0)]
+
+    def test_zero_delta_advance_is_silent(self):
+        clock = VirtualClock(start=3.0)
+        moves = []
+        clock.on_advance(lambda prev, now: moves.append((prev, now)))
+        clock.advance_to(3.0)
+        clock.advance_by(0.0)
+        assert moves == []
+
+
+class TestSchedulerStepping:
+    def test_step_processes_exactly_one_event(self, scheduler):
+        fired = []
+        scheduler.call_later(1.0, lambda: fired.append("a"))
+        scheduler.call_later(2.0, lambda: fired.append("b"))
+        assert scheduler.step() is True
+        assert fired == ["a"]
+        assert scheduler.now == 1.0
+        assert scheduler.step() is True
+        assert fired == ["a", "b"]
+        assert scheduler.step() is False
+
+    def test_next_event_time_skips_cancelled_heads(self, scheduler):
+        doomed = scheduler.call_later(0.5, lambda: None)
+        scheduler.call_later(2.0, lambda: None)
+        doomed.cancel()
+        assert scheduler.next_event_time() == 2.0
+        assert scheduler.step() is True
+        assert scheduler.next_event_time() is None
+
+    def test_step_on_empty_queue(self, scheduler):
+        assert scheduler.next_event_time() is None
+        assert scheduler.step() is False

@@ -1,0 +1,80 @@
+"""Shared-memory pool transport vs. pickled pipe frames.
+
+The claim under test is the ROADMAP item the shm ring closes: on large
+payloads (raytraced pixel buffers, image tiles) the per-frame pickling of
+``Batch`` values through the ``ProcessPoolExecutor`` pipe dominates no-op
+pool throughput, and moving the payload bytes through a
+:class:`~repro.net.shm_ring.ShmRing` — control records only on the pipe —
+recovers **≥2x** of it.  Both arms are additionally held to the transport's
+correctness contract on every attempt: exactly-once in-order delivery, and
+zero leaked ring slots after ``close()`` (the pipe arm's count is
+structurally zero — it has no ring — which the assertion pins down).
+
+A transport measurement on a loaded CI host jitters with scheduler noise,
+so the speedup assertion deflakes itself: each attempt already reports the
+best-of-``repeats`` wall-clock per arm, and up to three attempts may run
+before the bar must be met.  Correctness is asserted on *every* attempt —
+only the timing may retry.
+
+Run with ``--benchmark-only -s`` to see the measured numbers, or in fast
+mode (``REPRO_BENCH_FAST=1 ... --benchmark-disable``) as a smoke test.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench.comparison import compare_pool_transport
+
+FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
+
+ATTEMPTS = 3
+
+
+def run_comparison():
+    if FAST:
+        return compare_pool_transport(
+            count=16, payload_bytes=1 << 20, batch_size=4, repeats=2
+        )
+    return compare_pool_transport()
+
+
+def assert_transport_contract(comparison):
+    """Exactly-once delivery and zero leaked slots, both arms, every run."""
+    assert comparison.results_match
+    assert comparison.pipe_slots_leaked == 0
+    assert comparison.shm_slots_leaked == 0
+    assert comparison.shm_fallbacks == 0
+    # The shm arm really moved the payloads out-of-band, both directions.
+    assert (
+        comparison.shm_bytes_through_ring
+        >= 2 * comparison.values * comparison.payload_bytes
+    )
+
+
+def test_shm_transport_speedup(benchmark):
+    """≥2x no-op pool throughput on large payloads over the pipe transport."""
+    target = 1.2 if FAST else 2.0
+    attempts = []
+
+    def run():
+        for _ in range(ATTEMPTS):
+            comparison = run_comparison()
+            assert_transport_contract(comparison)
+            attempts.append(comparison)
+            if comparison.speedup >= target:
+                break
+        return max(attempts, key=lambda c: c.speedup)
+
+    best = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\nshm transport: {best.values} x {best.payload_bytes >> 20} MiB "
+        f"payloads, pipe {best.pipe_seconds:.3f}s, shm {best.shm_seconds:.3f}s, "
+        f"speedup {best.speedup:.2f}x over {len(attempts)} attempt(s) "
+        f"({best.shm_bytes_through_ring >> 20} MiB through the ring)"
+    )
+    benchmark.extra_info["speedup"] = best.speedup
+    # Fast mode shrinks the payload volume towards the fixed pool start-up
+    # cost, so the smoke bar is lower; the full run asserts the 2x
+    # acceptance bar.
+    assert best.speedup >= target

@@ -14,4 +14,5 @@ python -m pytest \
     benchmarks/bench_shard_scaling.py \
     benchmarks/bench_unordered_scaling.py \
     benchmarks/bench_event_loop.py \
+    benchmarks/bench_shm_transport.py \
     -q --benchmark-disable "$@"

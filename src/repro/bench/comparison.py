@@ -31,6 +31,9 @@ __all__ = [
     "cores_needed_to_match",
     "BackendComparison",
     "compare_backends",
+    "PoolTransportComparison",
+    "compare_pool_transport",
+    "large_payload_inputs",
     "ShardingComparison",
     "compare_sharding",
     "UnorderedShardingComparison",
@@ -213,6 +216,166 @@ def compare_backends(
         pool_seconds=pool_seconds,
         results_match=local_results == pool_results,
     )
+
+
+# --------------------------------------------------------------------------
+# Pool transports: pickled pipe frames vs. the shared-memory slot ring.
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class PoolTransportComparison:
+    """Measured wall-clock of one pool topology over two payload transports.
+
+    Both arms are the **same composition** — one unsharded ``DistributedMap``
+    with one *processes*-process pool, the same inputs, the same
+    ``batch_size`` framing — so the measured difference is purely the data
+    plane: every payload pickled through the executor pipe against payload
+    bytes moved through :class:`~repro.net.shm_ring.ShmRing` slots with only
+    control records on the pipe.  On a no-op workload (``echo``) the whole
+    wall-clock *is* transport cost, which makes the ratio the serialization
+    lever the roadmap item named.
+    """
+
+    workload: str
+    values: int
+    payload_bytes: int
+    processes: int
+    batch_size: int
+    pipe_seconds: float
+    shm_seconds: float
+    #: both arms delivered exactly the expected results, in order
+    results_match: bool
+    #: slots acquired minus released after close, per arm (pipe has no ring,
+    #: so its count is structurally zero)
+    pipe_slots_leaked: int
+    shm_slots_leaked: int
+    #: payloads that fell back to the pipe in the shm arm
+    shm_fallbacks: int
+    #: payload bytes the shm arm moved through slots (both directions)
+    shm_bytes_through_ring: int
+
+    @property
+    def speedup(self) -> float:
+        """Shm-transport throughput over the pipe transport."""
+        if self.shm_seconds <= 0:
+            return float("inf")
+        return self.pipe_seconds / self.shm_seconds
+
+
+def large_payload_inputs(count: int, payload_bytes: int) -> List[bytes]:
+    """Distinct ``bytes`` payloads of *payload_bytes* each.
+
+    Each payload carries its index in the leading bytes, so exactly-once
+    checks distinguish every value; the repeated filler keeps construction
+    cheap.
+    """
+    return [
+        index.to_bytes(8, "big") + bytes([index % 251]) * (payload_bytes - 8)
+        for index in range(count)
+    ]
+
+
+def compare_pool_transport(
+    fn_ref: Any = "repro.pool.workloads:echo",
+    count: int = 96,
+    payload_bytes: int = 2 << 20,
+    processes: int = 1,
+    batch_size: int = 8,
+    window: Optional[int] = None,
+    slot_count: Optional[int] = None,
+    slot_size: Optional[int] = None,
+    repeats: int = 3,
+    workload: Optional[str] = None,
+) -> PoolTransportComparison:
+    """Run large payloads through one pool, pipe transport then shm.
+
+    A single-process pool on a no-op function makes the transport the
+    bottleneck by construction.  Each arm runs *repeats* times and reports
+    its fastest wall-clock — pool start-up (included in every run) jitters
+    by tens of milliseconds on a loaded host, and the minimum is the
+    standard estimator for the cost floor a transport imposes.  Every run
+    of both arms is checked for exactly-once in-order delivery, and every
+    shm run for zero leaked slots after ``close()`` (leaks accumulate into
+    ``shm_slots_leaked`` across repeats).  The default ring is sized to the
+    payload (``slot_size`` one payload, enough slots for the whole Limiter
+    window) so the measurement is not skewed by fallbacks.
+    """
+    from ..core.distributed_map import DistributedMap
+    from ..pullstream import collect, pull, values
+
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    items = large_payload_inputs(count, payload_bytes)
+    if slot_size is None:
+        slot_size = max(payload_bytes, 1 << 16)
+    if slot_count is None:
+        from ..pool import default_window
+
+        frames_in_flight = window if window is not None else default_window(processes)
+        slot_count = max(8, frames_in_flight * max(1, batch_size) * 2)
+    expected = [run_task_locally(fn_ref, item) for item in items]
+
+    def run_arm(transport: str) -> tuple:
+        start = time.perf_counter()
+        dmap = DistributedMap(batch_size=max(1, batch_size))
+        sink = pull(values(items), dmap, collect())
+        try:
+            handle = dmap.add_process_pool(
+                fn_ref,
+                processes=processes,
+                batch_size=batch_size,
+                window=window,
+                transport=transport,
+                slot_count=slot_count if transport == "shm" else None,
+                slot_size=slot_size if transport == "shm" else None,
+            )
+            results = sink.result()
+        finally:
+            dmap.close()
+        return time.perf_counter() - start, results, handle.pool.ring
+
+    results_match = True
+    pipe_seconds = float("inf")
+    for _ in range(repeats):
+        seconds, results, _no_ring = run_arm("pipe")
+        pipe_seconds = min(pipe_seconds, seconds)
+        results_match = results_match and results == expected
+
+    shm_seconds = float("inf")
+    slots_leaked = 0
+    fallbacks = 0
+    bytes_through_ring = 0
+    for _ in range(repeats):
+        seconds, results, ring = run_arm("shm")
+        results_match = results_match and results == expected
+        slots_leaked += ring.slots_acquired - ring.slots_released
+        if seconds < shm_seconds:
+            shm_seconds = seconds
+            fallbacks = ring.fallbacks
+            bytes_through_ring = ring.bytes_written + ring.bytes_read
+
+    return PoolTransportComparison(
+        workload=workload or repr(fn_ref),
+        values=len(items),
+        payload_bytes=payload_bytes,
+        processes=processes,
+        batch_size=batch_size,
+        pipe_seconds=pipe_seconds,
+        shm_seconds=shm_seconds,
+        results_match=results_match,
+        pipe_slots_leaked=0,
+        shm_slots_leaked=slots_leaked,
+        shm_fallbacks=fallbacks,
+        shm_bytes_through_ring=bytes_through_ring,
+    )
+
+
+def run_task_locally(fn_ref: Any, value: Any) -> Any:
+    """Apply a pool function reference in-process (expected-result oracle)."""
+    from ..pool.tasks import run_task
+
+    return run_task(fn_ref, value)
 
 
 # --------------------------------------------------------------------------

@@ -85,6 +85,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend pool, also the number of values coalesced per frame",
     )
     parser.add_argument(
+        "--pool-transport",
+        choices=["pipe", "shm"],
+        default="pipe",
+        dest="pool_transport",
+        help="with --backend pool: how frame payloads reach the worker "
+        "processes — 'pipe' pickles them through the executor pipe, 'shm' "
+        "moves large bytes/array payloads through a shared-memory slot ring "
+        "(control records only on the pipe; oversized payloads fall back to "
+        "the pipe transparently)",
+    )
+    parser.add_argument(
         "--shards",
         type=int,
         default=1,
@@ -180,6 +191,7 @@ def run_pipeline(
     shards: int = 1,
     split_buffer: Optional[int] = None,
     scheduler: str = "thread",
+    pool_transport: str = "pipe",
 ) -> List[Any]:
     """Run the distributed map and return the results.
 
@@ -200,7 +212,8 @@ def run_pipeline(
     ``scheduler="asyncio"`` drives the pools through one
     :class:`~repro.sched.EventLoopScheduler` instead of the thread driver —
     the configuration where several pools compute concurrently on a single
-    unsharded master.
+    unsharded master.  ``pool_transport="shm"`` moves large payloads through
+    each pool's shared-memory slot ring instead of the executor pipe.
     """
     dmap = DistributedMap(
         ordered=ordered,
@@ -217,6 +230,7 @@ def run_pipeline(
                     fn_ref if fn_ref is not None else bundle.function,
                     processes=processes,
                     batch_size=batch_size,
+                    transport=pool_transport,
                 )
         else:
             for _ in range(max(1, workers, shards)):
@@ -283,6 +297,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--simulate does not support --scheduler asyncio "
                      "(simulated deployments spin their own virtual-time loop)")
         return 2  # pragma: no cover - parser.error raises
+    if args.pool_transport != "pipe" and args.backend != "pool":
+        parser.error("--pool-transport requires --backend pool (only the "
+                     "process-pool backend moves payloads between processes)")
+        return 2  # pragma: no cover - parser.error raises
 
     stderr.write(f"Serving volunteer code at http://127.0.0.1:{args.port}\n")
 
@@ -315,6 +333,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         shards=args.shards,
         split_buffer=args.split_buffer,
         scheduler=args.scheduler,
+        pool_transport=args.pool_transport,
     )
     for result in results:
         _emit(result, sys.stdout)

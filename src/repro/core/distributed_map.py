@@ -220,6 +220,10 @@ class DistributedMap:
         worker_id: Optional[str] = None,
         task_timeout: Optional[float] = None,
         blocking: Optional[bool] = None,
+        transport: str = "pipe",
+        slot_count: Optional[int] = None,
+        slot_size: Optional[int] = None,
+        shm_min_bytes: Optional[int] = None,
     ) -> WorkerHandle:
         """Attach a pool of OS processes executing *fn_ref* in parallel.
 
@@ -244,6 +248,12 @@ class DistributedMap:
         single-master map the source blocks on the head-of-line future and
         no drive loop is needed.  Non-blocking pools are auto-registered
         with the map's scheduler when one is attached.
+
+        ``transport="shm"`` moves large ``bytes``/array payloads through a
+        shared-memory slot ring instead of pickling them through the
+        executor pipe (see
+        :class:`~repro.pool.process_pool.ProcessPoolWorker`); *slot_count*,
+        *slot_size* and *shm_min_bytes* tune the ring.
         """
         from ..pool import ProcessPoolWorker, default_window
 
@@ -258,6 +268,10 @@ class DistributedMap:
             processes=processes,
             task_timeout=task_timeout,
             blocking=blocking,
+            transport=transport,
+            slot_count=slot_count,
+            slot_size=slot_size,
+            shm_min_bytes=shm_min_bytes,
         )
         try:
             frame = batch_size if batch_size is not None else self.batch_size

@@ -13,7 +13,10 @@ from .serialization import (
     encode_binary,
     encode_json,
     estimate_size,
+    oob_pack,
+    oob_unpack,
 )
+from .shm_ring import ShmRing
 from .message import CLOSE, CONTROL, DATA, HEARTBEAT, Message
 from .heartbeat import DEFAULT_INTERVAL, DEFAULT_TIMEOUT, HeartbeatMonitor
 from .channel import ChannelEndpoint, SimChannel
@@ -29,6 +32,9 @@ __all__ = [
     "encode_binary",
     "encode_json",
     "estimate_size",
+    "oob_pack",
+    "oob_unpack",
+    "ShmRing",
     "CLOSE",
     "CONTROL",
     "DATA",

@@ -24,6 +24,9 @@ __all__ = [
     "Batch",
     "BATCH_FRAME_OVERHEAD",
     "SizedPayload",
+    "OOB_MIN_BYTES",
+    "oob_pack",
+    "oob_unpack",
 ]
 
 
@@ -139,6 +142,86 @@ def estimate_size(value: Any) -> int:
         return len(encode_json(value))
     except (TypeError, ValueError):
         return len(repr(value))
+
+
+# --------------------------------------------------------------------------
+# Out-of-band payload protocol (shared-memory data plane).
+#
+# Large binary stream values — raytraced pixel buffers, image tiles — do not
+# have to travel on the same channel as the control records that frame them.
+# ``oob_pack`` splits a value into a *tag* naming its wire shape, a flat
+# buffer of payload bytes, and the metadata needed to rebuild it; the caller
+# moves the buffer over whatever cheap data plane it owns (a
+# :class:`~repro.net.shm_ring.ShmRing` slot) and ships only ``(tag, meta)``
+# with the control record.  ``oob_unpack`` is the inverse.  Values that have
+# no flat byte representation return ``None`` from ``oob_pack`` and stay
+# in-band — the graceful-degradation contract every transport relies on.
+# --------------------------------------------------------------------------
+
+#: Payloads smaller than this stay in-band by default: below a few hundred
+#: bytes the pickled control record is as cheap as the slot bookkeeping.
+OOB_MIN_BYTES = 512
+
+
+def oob_pack(value: Any) -> Any:
+    """Split *value* into ``(tag, buffer, meta)`` for out-of-band transport.
+
+    Returns ``None`` when the value has no flat byte representation (it must
+    then travel in-band).  Supported shapes:
+
+    * ``bytes`` / ``bytearray`` / ``memoryview`` — tag ``"raw"``, the bytes
+      themselves; the metadata records a ``bytearray`` source so the
+      receiver rebuilds the same type (a memoryview — unpicklable, so it
+      could never cross in-band either — arrives as ``bytes``);
+    * C-contiguous numpy arrays — tag ``"nd"``, the array's buffer, and
+      ``(dtype_str, shape)`` so the receiver can rebuild the array without a
+      pickle round-trip.
+    """
+    if isinstance(value, bytes):
+        return ("raw", value, None)
+    if isinstance(value, bytearray):
+        return ("raw", value, "bytearray")
+    if isinstance(value, memoryview):
+        # ``cast`` is restricted to contiguous views; a strided view is
+        # materialised instead (it is unpicklable, so falling back in-band
+        # is not an option for it anyway).
+        if not value.contiguous:
+            return ("raw", bytes(value), None)
+        if value.ndim != 1 or value.format not in ("B", "b", "c"):
+            value = value.cast("B")
+        return ("raw", value, None)
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - numpy is in the baseline image
+        return None
+    if (
+        isinstance(value, numpy.ndarray)
+        and value.ndim >= 1
+        and value.flags["C_CONTIGUOUS"]
+        and value.dtype.hasobject is False
+    ):
+        return ("nd", value.data.cast("B"), (value.dtype.str, value.shape))
+    return None
+
+
+def oob_unpack(tag: str, buffer: Any, meta: Any, copy: bool = True) -> Any:
+    """Rebuild a value from its out-of-band ``(tag, buffer, meta)`` form.
+
+    With ``copy=False`` the returned value aliases *buffer* where the shape
+    allows it (a numpy array viewing a shared-memory slot — the zero-copy
+    read path); the caller then guarantees the buffer outlives the value.
+    ``copy=True`` materialises an owned copy, which is what a receiver must
+    do before releasing the slot the buffer lives in.
+    """
+    if tag == "raw":
+        return bytearray(buffer) if meta == "bytearray" else bytes(buffer)
+    if tag == "nd":
+        import numpy
+
+        dtype_str, shape = meta
+        array = numpy.frombuffer(buffer, dtype=numpy.dtype(dtype_str)).reshape(shape)
+        return array.copy() if copy else array
+    raise ValueError(f"unknown out-of-band payload tag {tag!r}")
 
 
 def _fallback(value: Any) -> Any:

@@ -10,7 +10,15 @@ Limiter/batching/sub-stream composition.
 """
 
 from .process_pool import ProcessPoolWorker, default_window
-from .tasks import FunctionRef, expects_callback, resolve_callable, run_batch, run_task
+from .tasks import (
+    FunctionRef,
+    expects_callback,
+    resolve_callable,
+    run_batch,
+    run_shm_batch,
+    run_shm_task,
+    run_task,
+)
 from . import workloads
 
 __all__ = [
@@ -20,6 +28,8 @@ __all__ = [
     "expects_callback",
     "resolve_callable",
     "run_batch",
+    "run_shm_batch",
+    "run_shm_task",
     "run_task",
     "workloads",
 ]

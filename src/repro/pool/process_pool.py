@@ -30,6 +30,17 @@ future is still running is parked, and a driver (the sharded master's
 :meth:`ProcessPoolWorker.poll` to deliver completed results.  This is what
 lets several pools pump concurrently from one interpreter thread — a
 blocking source would monopolise it and serialise the pools.
+
+``transport="shm"`` moves the frame *payloads* off the executor pipe: large
+``bytes``/array values are written once into a
+:class:`~repro.net.shm_ring.ShmRing` slot and only the tiny control record
+(slot index, length, dtype tag) is pickled, cutting the per-frame
+serialization that dominates no-op pool throughput on big payloads.  Slot
+lifetime is tied to the frame: acquired on submit, reused by the child for
+the result, released when the result is read — or when the frame is
+cancelled, fails, or the pool shuts down, so the ring cannot leak.  A
+payload that fits no slot (or finds the ring exhausted) stays in-band on
+the pipe, exactly as with ``transport="pipe"``.
 """
 
 from __future__ import annotations
@@ -38,13 +49,21 @@ import os
 import pickle
 from collections import deque
 from concurrent.futures import CancelledError, Future, ProcessPoolExecutor
-from typing import Any, Callable, Deque, Optional, Tuple
+from typing import Any, Callable, Deque, List, Optional, Tuple
 
 from ..errors import PandoError, ProtocolError, WorkerCrashed
-from ..net.serialization import Batch
+from ..net.serialization import OOB_MIN_BYTES, Batch
+from ..net.shm_ring import ShmRing, pack_frame, unpack_frame
 from ..pullstream.protocol import DONE, Callback, End, Source, is_error
 from ..pullstream.sinks import eager_pump
-from .tasks import FunctionRef, resolve_callable, run_batch, run_task
+from .tasks import (
+    FunctionRef,
+    resolve_callable,
+    run_batch,
+    run_shm_batch,
+    run_shm_task,
+    run_task,
+)
 
 __all__ = ["ProcessPoolWorker", "default_window"]
 
@@ -75,6 +94,13 @@ class ProcessPoolWorker:
         pump concurrently.  ``task_timeout`` cannot be enforced in this mode
         (results are only ever collected from already-done futures), so the
         combination is rejected rather than silently ignored.
+    transport:
+        ``"pipe"`` (the default) pickles whole frames through the executor
+        pipe; ``"shm"`` moves large ``bytes``/array payloads through a
+        shared-memory slot ring and pickles only control records.
+        *slot_count*, *slot_size* and *shm_min_bytes* tune the ring (slots
+        per ring, bytes per slot, and the size below which a payload stays
+        in-band); they require ``transport="shm"``.
     """
 
     pull_role = "duplex"
@@ -86,6 +112,10 @@ class ProcessPoolWorker:
         task_timeout: Optional[float] = None,
         mp_context: Optional[Any] = None,
         blocking: bool = True,
+        transport: str = "pipe",
+        slot_count: Optional[int] = None,
+        slot_size: Optional[int] = None,
+        shm_min_bytes: Optional[int] = None,
     ) -> None:
         self._validate_ref(fn_ref)
         if task_timeout is not None and not blocking:
@@ -95,15 +125,38 @@ class ProcessPoolWorker:
                 "done, so the timeout would never fire (bound the run with "
                 "DistributedMap.drive(..., timeout=...) instead)"
             )
+        if transport not in ("pipe", "shm"):
+            raise PandoError(
+                f"unknown pool transport {transport!r}: expected 'pipe' or 'shm'"
+            )
+        if transport != "shm" and any(
+            knob is not None for knob in (slot_count, slot_size, shm_min_bytes)
+        ):
+            raise PandoError(
+                "slot_count/slot_size/shm_min_bytes tune the shared-memory "
+                "ring and require transport='shm'"
+            )
         self.fn_ref = fn_ref
         self.processes = processes or os.cpu_count() or 1
         self.task_timeout = task_timeout
         self.blocking = blocking
+        self.transport = transport
+        #: the shared-memory payload ring (``transport="shm"`` only)
+        self.ring: Optional[ShmRing] = None
+        self._shm_min_bytes = shm_min_bytes
+        if transport == "shm":
+            ring_kwargs = {}
+            if slot_count is not None:
+                ring_kwargs["slot_count"] = slot_count
+            if slot_size is not None:
+                ring_kwargs["slot_size"] = slot_size
+            self.ring = ShmRing(**ring_kwargs)
         self._executor: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
             max_workers=self.processes, mp_context=mp_context
         )
-        #: (future, was_batch) in submission (= borrow) order
-        self._pending: Deque[Tuple[Future, bool]] = deque()
+        #: (future, was_batch, ring slots owned by the frame) in submission
+        #: (= borrow) order
+        self._pending: Deque[Tuple[Future, bool, List[int]]] = deque()
         self._upstream_ended: End = None
         self._result_waiting: Optional[Callback] = None
         self._closed: End = None
@@ -150,14 +203,45 @@ class ProcessPoolWorker:
 
     def _submit(self, value: Any) -> None:
         assert self._executor is not None
-        if isinstance(value, Batch):
-            future = self._executor.submit(run_batch, self.fn_ref, list(value.values))
-            self._pending.append((future, True))
-            self.values_dispatched += len(value)
+        was_batch = isinstance(value, Batch)
+        values = list(value.values) if was_batch else None
+        if self.ring is not None:
+            min_bytes = (
+                self._shm_min_bytes if self._shm_min_bytes is not None else OOB_MIN_BYTES
+            )
+            entries, slots = pack_frame(
+                self.ring, values if was_batch else [value], min_bytes=min_bytes
+            )
+            try:
+                if was_batch:
+                    future = self._executor.submit(
+                        run_shm_batch,
+                        self.fn_ref,
+                        self.ring.name,
+                        self.ring.slot_size,
+                        entries,
+                        min_bytes,
+                    )
+                else:
+                    future = self._executor.submit(
+                        run_shm_task,
+                        self.fn_ref,
+                        self.ring.name,
+                        self.ring.slot_size,
+                        entries[0],
+                        min_bytes,
+                    )
+            except Exception:
+                self.ring.release_all(slots)
+                raise
+            self._pending.append((future, was_batch, slots))
+        elif was_batch:
+            future = self._executor.submit(run_batch, self.fn_ref, values)
+            self._pending.append((future, True, []))
         else:
             future = self._executor.submit(run_task, self.fn_ref, value)
-            self._pending.append((future, False))
-            self.values_dispatched += 1
+            self._pending.append((future, False, []))
+        self.values_dispatched += len(values) if was_batch else 1
         self.tasks_submitted += 1
         if self._result_waiting is not None:
             if self.blocking:
@@ -200,10 +284,15 @@ class ProcessPoolWorker:
 
     def _deliver(self, cb: Callback) -> None:
         """Block on the oldest pending future and answer with its result."""
-        future, was_batch = self._pending.popleft()
+        future, was_batch, slots = self._pending.popleft()
         try:
             result = future.result(timeout=self.task_timeout)
         except (Exception, CancelledError) as exc:
+            # The frame can never be consumed: its slots go back to the ring
+            # before the crash-stop teardown (shutdown would also reap them,
+            # but release-before-teardown keeps the accounting exact).
+            if self.ring is not None:
+                self.ring.release_all(slots)
             error = (
                 exc
                 if isinstance(exc, Exception)
@@ -212,6 +301,12 @@ class ProcessPoolWorker:
             self._shutdown(error)
             cb(error, None)
             return
+        if self.ring is not None:
+            # Copy the payloads out, then release the frame's slots — the
+            # "release on result read" half of the slot-ownership protocol.
+            decoded = unpack_frame(self.ring, result if was_batch else [result])
+            self.ring.release_all(slots)
+            result = decoded if was_batch else decoded[0]
         self.results_returned += len(result) if was_batch else 1
         cb(None, Batch(result) if was_batch else result)
 
@@ -293,14 +388,18 @@ class ProcessPoolWorker:
         """
         if not force and self._closed is None:
             return 0
-        kept: Deque[Tuple[Future, bool]] = deque()
+        kept: Deque[Tuple[Future, bool, List[int]]] = deque()
         cancelled = 0
         while self._pending:
-            future, was_batch = self._pending.popleft()
+            future, was_batch, slots = self._pending.popleft()
             if future.cancel():
                 cancelled += 1
+                # A cancelled task never ran, so its payload slots can never
+                # be read again: hand them back to the ring immediately.
+                if self.ring is not None:
+                    self.ring.release_all(slots)
             else:
-                kept.append((future, was_batch))
+                kept.append((future, was_batch, slots))
         self._pending = kept
         self.tasks_cancelled += cancelled
         if (
@@ -342,7 +441,7 @@ class ProcessPoolWorker:
             self._closed = reason if reason is not None else DONE
         executor, self._executor = self._executor, None
         if executor is not None:
-            for future, _was_batch in self._pending:
+            for future, _was_batch, _slots in self._pending:
                 if future.cancel():
                     self.tasks_cancelled += 1
             # cancel_futures reaps work items that future.cancel() cannot
@@ -350,6 +449,13 @@ class ProcessPoolWorker:
             executor.shutdown(wait=False, cancel_futures=True)
         # Cancelled futures must not be delivered by a later read: they would
         # surface as WorkerCrashed instead of the recorded close reason.
+        if self.ring is not None:
+            # Reap every frame's slots — delivered frames already released
+            # theirs, and nothing after shutdown can consume the rest — then
+            # drop the block.  The counters stay readable for leak checks.
+            for _future, _was_batch, slots in self._pending:
+                self.ring.release_all(slots)
+            self.ring.close()
         self._pending.clear()
         # A parked result ask must be answered on *any* termination —
         # including close() — so the sub-stream closes and its borrowed

@@ -30,7 +30,15 @@ from typing import Any, Callable, List, Tuple, Union
 
 from ..errors import PandoError
 
-__all__ = ["FunctionRef", "expects_callback", "resolve_callable", "run_task", "run_batch"]
+__all__ = [
+    "FunctionRef",
+    "expects_callback",
+    "resolve_callable",
+    "run_task",
+    "run_batch",
+    "run_shm_task",
+    "run_shm_batch",
+]
 
 FunctionRef = Union[str, Tuple[str, str], Callable[..., Any]]
 
@@ -147,3 +155,43 @@ def run_batch(ref: FunctionRef, values: List[Any]) -> List[Any]:
     """
     fn, node_style = _prepared(ref)
     return [_apply(fn, node_style, value) for value in values]
+
+
+def run_shm_task(
+    ref: FunctionRef, ring_name: str, slot_size: int, entry: Any, min_bytes: int
+) -> Any:
+    """Executor entry point for one shared-memory-framed value.
+
+    The payload arrives as a control entry pointing into the master's
+    :class:`~repro.net.shm_ring.ShmRing` (or inline, the fallback); the
+    result travels back the same way, through the frame's slot — only the
+    tiny control records cross the executor pipe.
+    """
+    from ..net.shm_ring import load_entry, store_entry
+
+    fn, node_style = _prepared(ref)
+    result = _apply(fn, node_style, load_entry(ring_name, slot_size, entry))
+    return store_entry(ring_name, slot_size, entry, result, min_bytes=min_bytes)
+
+
+def run_shm_batch(
+    ref: FunctionRef,
+    ring_name: str,
+    slot_size: int,
+    entries: List[Any],
+    min_bytes: int,
+) -> List[Any]:
+    """Executor entry point for a shared-memory-framed batch.
+
+    Values are applied in order; each result is written back into its own
+    input's slot before the next value is touched, so a frame never needs
+    more slots than its submission acquired.
+    """
+    from ..net.shm_ring import load_entry, store_entry
+
+    fn, node_style = _prepared(ref)
+    out: List[Any] = []
+    for entry in entries:
+        result = _apply(fn, node_style, load_entry(ring_name, slot_size, entry))
+        out.append(store_entry(ring_name, slot_size, entry, result, min_bytes=min_bytes))
+    return out

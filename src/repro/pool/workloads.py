@@ -18,8 +18,11 @@ __all__ = [
     "square",
     "times10",
     "sleep_echo",
+    "sleep_blob",
     "spin",
+    "invert_tile",
     "render_frame",
+    "render_frame_pixels",
     "search_nonces",
 ]
 
@@ -53,6 +56,32 @@ def sleep_echo(value: Any) -> Any:
     return value
 
 
+def sleep_blob(value: bytes) -> bytes:
+    """Sleep 50 ms, then echo a binary payload.
+
+    The large-payload sibling of :func:`sleep_echo`: slow enough that a
+    loaded Limiter window queues frames behind the running one (what the
+    cancellation fan-out tests need), with ``bytes`` payloads eligible for
+    the shared-memory transport.
+    """
+    time.sleep(0.05)
+    return value
+
+
+#: byte-wise complement, applied at C speed via bytes.translate
+_INVERT_TABLE = bytes(255 - i for i in range(256))
+
+
+def invert_tile(value: Any) -> bytes:
+    """Invert an image tile's bytes (negative filter, the imageproc stand-in).
+
+    A cheap, content-dependent transformation of a binary payload: the
+    result is the same size as the input but never equal to it, so
+    exactly-once checks catch duplicated *and* unprocessed tiles.
+    """
+    return bytes(value).translate(_INVERT_TABLE)
+
+
 def spin(value: Any) -> Any:
     """CPU-bound busy work: ``{"rounds": n}`` SHA-256 chains over the input."""
     rounds = int(value.get("rounds", 10_000)) if isinstance(value, dict) else int(value)
@@ -82,6 +111,23 @@ def render_frame(spec: Dict[str, Any]) -> Dict[str, Any]:
         "pixels": encode_binary(pixels.tobytes()),
         "shape": list(pixels.shape),
     }
+
+
+def render_frame_pixels(spec: Dict[str, Any]):
+    """Render one frame and return the raw pixel array.
+
+    The asymmetric-frame sibling of :func:`render_frame`: the input spec is
+    a tiny dict (travels in-band) while the result is the full pixel
+    buffer, which the shared-memory transport returns through the frame's
+    spare slot instead of pickling it through the executor pipe.
+    """
+    from ..apps.raytracer import render_scene
+
+    return render_scene(
+        float(spec["angle"]),
+        int(spec.get("width", 32)),
+        int(spec.get("height", 24)),
+    )
 
 
 def search_nonces(attempt: Dict[str, Any]) -> Dict[str, Any]:

@@ -60,6 +60,13 @@ async def async_pump(
     wake = asyncio.Event()
     scheduler._wake_event = wake
     cancelled = False
+    # Sink completion is itself a wake-up source: a run whose last progress
+    # happens outside the dispatch rounds (a port-fed pipeline completing
+    # from a producer thread) must terminate the moment its sink finishes,
+    # not at the next safety-net poll.  ``wake`` is thread-safe, and a sink
+    # clears its callbacks on completion, so registration is per-run cheap.
+    for sink in sinks:
+        sink.on_done(lambda _sink: scheduler.wake())
 
     def fan_out_cancellation() -> bool:
         nonlocal cancelled

@@ -213,3 +213,34 @@ class TestSchedulerFlag:
         with pytest.raises(SystemExit):
             main(["--app", "collatz", "--simulate", "lan",
                   "--scheduler", "asyncio"])
+
+
+class TestPoolTransportFlag:
+    def test_shm_transport_pool_run(self, capsys):
+        """The full pipeline over the shared-memory transport: small app
+        values ride in-band, the plumbing must be transparent."""
+        code = main(["--app", "collatz", "--count", "6", "--workers", "2",
+                     "--backend", "pool", "--pool-transport", "shm"])
+        assert code == 0
+        lines = [json.loads(line)
+                 for line in capsys.readouterr().out.strip().splitlines()]
+        assert len(lines) == 6
+        assert all("steps" in line for line in lines)
+
+    def test_shm_transport_composes_with_shards(self, capsys):
+        code = main(["--app", "collatz", "--count", "6", "--workers", "2",
+                     "--backend", "pool", "--shards", "2",
+                     "--pool-transport", "shm"])
+        assert code == 0
+        lines = [json.loads(line)
+                 for line in capsys.readouterr().out.strip().splitlines()]
+        assert len(lines) == 6
+
+    def test_shm_transport_requires_pool_backend(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--app", "collatz", "--count", "4",
+                  "--pool-transport", "shm"])
+
+    def test_default_is_pipe(self):
+        args = build_parser().parse_args(["--app", "collatz"])
+        assert args.pool_transport == "pipe"

@@ -108,6 +108,68 @@ class TestCancelPendingGuards:
         assert pool.closed
 
 
+class TestShmSlotReleaseOnAbort:
+    """Cancellation fan-out on the shared-memory transport: aborting a
+    find-style run must hand back every ring slot held by frames that were
+    submitted but never ran (extends the fan-out coverage above to the
+    transport's slot-ownership protocol)."""
+
+    def run_shm_search(self):
+        """One non-blocking shm pool, thread driver, hit on the second tile."""
+        dmap = DistributedMap(batch_size=1)
+        inputs = [index.to_bytes(4, "big") + bytes(8192) for index in range(30)]
+        hit = (1).to_bytes(4, "big")
+        sink = pull(values(inputs), dmap, find(lambda v: v[:4] == hit))
+        try:
+            handle = dmap.add_process_pool(
+                "repro.pool.workloads:sleep_blob",
+                processes=2,
+                window=12,
+                blocking=False,
+                transport="shm",
+            )
+            dmap.drive(sink, timeout=60)
+            return sink, handle.pool
+        finally:
+            dmap.close()
+
+    def test_abort_releases_every_cancelled_frames_slots(self):
+        sink, pool = self.run_shm_search()
+        assert sink.aborted and sink.result()[:4] == (1).to_bytes(4, "big")
+        # The window kept the ring loaded ahead of the hit, and the fan-out
+        # cancelled the queued frames...
+        assert pool.tasks_cancelled > 0
+        ring = pool.ring
+        # ... whose slots all came back: with one payload slot per
+        # batch_size=1 frame, the release count covers every delivered AND
+        # every cancelled frame — nothing waits for close().
+        assert ring.slots_released >= pool.results_returned + pool.tasks_cancelled
+        # close() (in run_shm_search's finally) reaped the remainder.
+        assert ring.slots_acquired == ring.slots_released
+        assert ring.in_use == 0
+
+    def test_clean_shm_drain_releases_slots_without_cancelling(self):
+        dmap = DistributedMap(batch_size=1)
+        inputs = [index.to_bytes(4, "big") + bytes(8192) for index in range(6)]
+        sink = pull(values(inputs), dmap, collect())
+        try:
+            handle = dmap.add_process_pool(
+                "repro.pool.workloads:sleep_blob",
+                processes=2,
+                blocking=False,
+                transport="shm",
+            )
+            dmap.drive(sink, timeout=60)
+            assert sink.result() == inputs
+            pool = handle.pool
+            assert pool.tasks_cancelled == 0
+            # Every slot was already back before close(): release-on-read.
+            assert pool.ring.in_use == 0
+            assert pool.ring.slots_acquired == pool.ring.slots_released
+        finally:
+            dmap.close()
+
+
 @pytest.mark.parametrize("shards", [1, 2])
 def test_unaborted_runs_cancel_nothing(shards):
     """The fast path must never fire on a clean drain."""

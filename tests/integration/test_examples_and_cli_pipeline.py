@@ -76,6 +76,14 @@ class TestExamples:
         assert "on one event loop" in stdout
         assert "channel" in stdout
 
+    def test_shm_transport_small(self):
+        stdout = run_example(
+            "shm_transport.py", "--tiles", "8", "--tile-kb", "64",
+            "--processes", "2",
+        )
+        assert "inverted 8 tiles" in stdout
+        assert "0 leaked" in stdout
+
 
 class TestUnixPipeline:
     """The full Figure-3 pipeline via the console-script entry points."""

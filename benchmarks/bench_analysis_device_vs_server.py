@@ -8,7 +8,6 @@ iPhone SE + MacBook Pro 2016 against the fastest Grid5000 node.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.apps import CollatzApplication
 from repro.bench import device_vs_server, format_comparison

@@ -9,12 +9,10 @@ from __future__ import annotations
 
 import os
 
-import pytest
 
 from repro import (
     DistributedMap,
     Limiter,
-    collect,
     count,
     drain,
     map_,

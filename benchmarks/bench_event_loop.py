@@ -29,7 +29,7 @@ import threading
 from repro.bench.comparison import compare_event_loop
 from repro.net.channel import SimChannel
 from repro.pullstream import async_map, collect, pull, values
-from repro.sched import EventLoopScheduler, PoolEventSource, SimEventSource
+from repro.sched import EventLoopScheduler, PoolEventSource
 from repro.sim.clock import VirtualClock
 from repro.sim.network import LAN_PROFILE, NetworkModel
 from repro.sim.scheduler import Scheduler

@@ -9,7 +9,6 @@ in-process workers.
 
 from __future__ import annotations
 
-import pytest
 
 from repro import DistributedMap, drain, from_iterable, pull
 from repro.apps import CryptoMiningApplication, MiningMonitor

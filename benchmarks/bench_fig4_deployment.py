@@ -8,7 +8,6 @@ completion time and verifies the ordering and fault-tolerance outcome.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.apps import RaytraceApplication
 from repro.devices import LAN_DEVICES

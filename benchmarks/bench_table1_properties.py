@@ -9,7 +9,6 @@ are visible.
 
 from __future__ import annotations
 
-import pytest
 
 from repro import DistributedMap, collect, pull, values
 from repro.core import StreamLender
@@ -40,7 +39,6 @@ def test_fault_tolerant_relending_overhead(benchmark):
     """Cost of a run in which half the workers crash mid-stream."""
 
     def run():
-        from repro.pullstream import DONE
 
         lender = StreamLender()
         output = pull(values(list(range(N_VALUES))), lender, collect())

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Lint gate: ruff (when available) + pando-lint with a zero-findings baseline.
+#
+# The container used for local development may not ship ruff; the script
+# skips it gracefully there and relies on CI (which installs ruff) for the
+# style pass.  pando-lint always runs — it only needs the stdlib.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if command -v ruff >/dev/null 2>&1; then
+  echo "== ruff =="
+  ruff check src tests examples benchmarks
+else
+  echo "== ruff not installed; skipping style pass (CI runs it) =="
+fi
+
+echo "== pando-lint =="
+PYTHONPATH=src python -m repro.analysis src/repro --baseline lint-baseline.txt

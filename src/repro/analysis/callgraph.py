@@ -1,0 +1,174 @@
+"""An approximate call graph over the analyzed modules.
+
+Both concurrency checkers (thread-ownership and blocking-call-on-loop)
+ask reachability questions: *starting from this entry point, which
+functions can execute?*  This module builds the shared function index and
+the call-resolution rules they traverse.
+
+Resolution is deliberately modest — the goal is a graph precise enough to
+be quiet, not a points-to analysis:
+
+* ``self.m()`` / ``cls.m()`` resolves within the caller's class, then its
+  (transitive, by-name) bases;
+* a bare ``name()`` resolves to a sibling nested function, then a
+  same-module function, then — only if the name is *unique* across the
+  whole index — the single global candidate (this is how ``from x import
+  helper`` calls resolve without an import solver);
+* ``obj.m()`` on an arbitrary receiver resolves only when exactly one
+  class in the index defines ``m``.  Ambiguity (``push`` exists on both
+  ``Pushable`` and ``PushablePort``) produces *no* edge rather than a
+  guessed one, because a wrong edge becomes a false finding.
+
+Unresolved calls simply have no edge; the checkers accept the resulting
+under-approximation and say so in their docs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["FunctionInfo", "CallGraph", "calls_in", "decorator_names"]
+
+
+def decorator_names(fn: ast.AST) -> List[str]:
+    """Last dotted component of each decorator (``repro.x.loop_only`` → ``loop_only``)."""
+    names = []
+    for decorator in getattr(fn, "decorator_list", []):
+        node = decorator
+        if isinstance(node, ast.Call):
+            node = node.func
+        if isinstance(node, ast.Attribute):
+            names.append(node.attr)
+        elif isinstance(node, ast.Name):
+            names.append(node.id)
+    return names
+
+
+def calls_in(fn: ast.AST) -> Iterable[ast.Call]:
+    """Every call executed by *fn* itself — nested function bodies excluded
+    (they are separate index entries, reached through direct-call edges)."""
+    stack = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@dataclass
+class FunctionInfo:
+    """One indexed function or method."""
+
+    module: object  #: the owning AnalyzedModule
+    qualname: str  #: dotted name within the module (``Class.method.inner``)
+    node: ast.AST
+    cls: Optional[str] = None  #: enclosing class name for methods
+    ownership: Optional[str] = None  #: ``"loop_only"`` / ``"any_thread"`` / None
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.module.path, self.qualname)
+
+    @property
+    def label(self) -> str:
+        return f"{self.module.path}:{self.qualname}"
+
+
+@dataclass
+class CallGraph:
+    functions: Dict[Tuple[str, str], FunctionInfo] = field(default_factory=dict)
+    _by_name: Dict[str, List[FunctionInfo]] = field(default_factory=dict)
+    _methods: Dict[str, List[FunctionInfo]] = field(default_factory=dict)
+    _class_bases: Dict[str, List[str]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, modules) -> "CallGraph":
+        graph = cls()
+        for module in modules:
+            for class_name, bases in module.classes.items():
+                graph._class_bases.setdefault(class_name, []).extend(bases)
+            for qualname, fn in module.functions.items():
+                names = decorator_names(fn)
+                ownership = None
+                if "loop_only" in names:
+                    ownership = "loop_only"
+                elif "any_thread" in names:
+                    ownership = "any_thread"
+                parts = qualname.split(".")
+                owner = parts[-2] if len(parts) > 1 else None
+                info = FunctionInfo(
+                    module=module,
+                    qualname=qualname,
+                    node=fn,
+                    cls=owner if owner in module.classes else None,
+                    ownership=ownership,
+                )
+                graph.functions[info.key] = info
+                graph._by_name.setdefault(parts[-1], []).append(info)
+                if info.cls is not None:
+                    graph._methods.setdefault(parts[-1], []).append(info)
+        return graph
+
+    # ------------------------------------------------------------ resolution
+    def subclasses_of(self, base_name: str) -> List[str]:
+        """Class names transitively deriving from *base_name* (inclusive)."""
+        found = {base_name}
+        changed = True
+        while changed:
+            changed = False
+            for class_name, bases in self._class_bases.items():
+                if class_name not in found and any(base in found for base in bases):
+                    found.add(class_name)
+                    changed = True
+        return sorted(found)
+
+    def method(self, class_name: str, attr: str) -> Optional[FunctionInfo]:
+        """``class_name.attr`` looked up through the (by-name) MRO."""
+        seen = set()
+        queue = [class_name]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            for info in self._methods.get(attr, []):
+                if info.cls == current:
+                    return info
+            queue.extend(self._class_bases.get(current, []))
+        return None
+
+    def resolve(self, caller: FunctionInfo, func: ast.expr) -> Optional[FunctionInfo]:
+        """The callee of a call whose ``func`` expression is *func*, or None."""
+        if isinstance(func, ast.Name):
+            return self._resolve_bare(caller, func.id)
+        if isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name) and func.value.id in ("self", "cls"):
+                if caller.cls is not None:
+                    return self.method(caller.cls, func.attr)
+                return None
+            candidates = self._methods.get(func.attr, [])
+            if len(candidates) == 1:
+                return candidates[0]
+            return None
+        return None
+
+    def _resolve_bare(self, caller: FunctionInfo, name: str) -> Optional[FunctionInfo]:
+        # innermost enclosing scope first: nested functions of the caller,
+        # then siblings at each enclosing level, then module level
+        parts = caller.qualname.split(".")
+        for depth in range(len(parts), -1, -1):
+            qualname = ".".join(parts[:depth] + [name])
+            info = self.functions.get((caller.module.path, qualname))
+            if info is not None:
+                return info
+        # cross-module: only an unambiguous plain function
+        candidates = [
+            info for info in self._by_name.get(name, []) if info.cls is None
+        ]
+        if len(candidates) == 1:
+            return candidates[0]
+        return None

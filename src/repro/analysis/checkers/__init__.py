@@ -1,0 +1,22 @@
+"""The four ``pando-lint`` checkers.
+
+Each module exposes ``CHECKER_ID`` and a ``check(modules) -> List[Finding]``
+entry point over the parsed module set (see
+:class:`repro.analysis.runner.AnalyzedModule`).
+"""
+
+from __future__ import annotations
+
+from . import blocking_call, callback_discipline, resource_pairing, thread_ownership
+
+#: Registry in documentation order; the runner and the CLI iterate this.
+ALL_CHECKERS = (
+    callback_discipline,
+    resource_pairing,
+    thread_ownership,
+    blocking_call,
+)
+
+CHECKER_IDS = tuple(checker.CHECKER_ID for checker in ALL_CHECKERS)
+
+__all__ = ["ALL_CHECKERS", "CHECKER_IDS"]

@@ -1,0 +1,165 @@
+"""The ``pando-lint`` command line.
+
+Run as ``python -m repro.analysis``, as the ``pando-lint`` console script,
+or as ``pando lint`` through the main CLI — all three share this module.
+
+Exit codes: ``0`` clean, ``1`` findings survived the suppression and
+baseline layers, ``2`` usage or parse error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from .checkers import ALL_CHECKERS, CHECKER_IDS
+from .findings import format_finding, load_baseline
+from .runner import analyze_paths, run_checkers
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pando-lint",
+        description=(
+            "Concurrency-aware static analysis for the pando stream/pool/shm "
+            "stack: callback discipline, resource pairing, thread ownership "
+            "and blocking-call checks."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--checks",
+        default=None,
+        metavar="IDS",
+        help="comma-separated checker ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="baseline file of grandfathered finding fingerprints",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-checks",
+        action="store_true",
+        help="list the available checkers and exit",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="print findings only, no summary line",
+    )
+    return parser
+
+
+def _list_checks() -> None:
+    for checker in ALL_CHECKERS:
+        doc = (checker.__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"{checker.CHECKER_ID:24} {summary}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_checks:
+        _list_checks()
+        return 0
+
+    checks = None
+    if options.checks:
+        checks = [part.strip() for part in options.checks.split(",") if part.strip()]
+        unknown = sorted(set(checks) - set(CHECKER_IDS))
+        if unknown:
+            print(
+                f"pando-lint: unknown checker(s): {', '.join(unknown)} "
+                f"(known: {', '.join(CHECKER_IDS)})",
+                file=sys.stderr,
+            )
+            return 2
+
+    baseline = None
+    if options.baseline is not None:
+        if not os.path.exists(options.baseline):
+            print(
+                f"pando-lint: baseline file not found: {options.baseline}",
+                file=sys.stderr,
+            )
+            return 2
+        baseline = load_baseline(options.baseline)
+
+    missing = [path for path in options.paths if not os.path.exists(path)]
+    if missing:
+        print(
+            f"pando-lint: no such file or directory: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        modules = analyze_paths(options.paths)
+    except SyntaxError as exc:
+        print(f"pando-lint: parse error: {exc}", file=sys.stderr)
+        return 2
+
+    result = run_checkers(modules, checks=checks, baseline=baseline)
+
+    if options.format == "json":
+        payload = {
+            "findings": [
+                {
+                    "checker": finding.checker,
+                    "path": finding.path,
+                    "line": finding.line,
+                    "function": finding.function,
+                    "message": finding.message,
+                    "detail": finding.detail,
+                    "fingerprint": finding.fingerprint,
+                }
+                for finding in result.findings
+            ],
+            "suppressed": result.suppressed,
+            "baselined": result.baselined,
+            "files": result.files,
+            "functions": result.functions,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for finding in result.findings:
+            print(format_finding(finding))
+        if not options.quiet:
+            silenced = ""
+            if result.suppressed or result.baselined:
+                silenced = (
+                    f" ({result.suppressed} suppressed, "
+                    f"{result.baselined} baselined)"
+                )
+            print(
+                f"pando-lint: {len(result.findings)} finding(s) in "
+                f"{result.files} file(s), {result.functions} function(s)"
+                f"{silenced}",
+                file=sys.stderr,
+            )
+
+    return 1 if result.findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

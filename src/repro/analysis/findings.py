@@ -1,0 +1,126 @@
+"""Findings, suppressions and the committed baseline of ``pando-lint``.
+
+A checker reports :class:`Finding` objects carrying the checker id, the
+``file:line`` anchor and a one-line message.  Two mechanisms keep the gate
+workable on a living codebase:
+
+* **Suppressions** — a ``# pando-lint: ignore[checker-id]`` comment on the
+  flagged line (or on the line directly above it) silences that finding.
+  ``ignore[*]`` silences every checker for the line.  Suppressions are the
+  reviewed, in-code escape hatch for intentional patterns.
+* **Baseline** — a committed file of finding fingerprints that are
+  tolerated (grandfathered) by CI.  This repository's baseline is empty
+  and must stay empty: new findings either get fixed or get an explicit
+  suppression comment that a reviewer can see.
+
+Fingerprints deliberately exclude line numbers so an unrelated edit above
+a grandfathered finding does not break the gate.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, Set
+
+__all__ = [
+    "Finding",
+    "SuppressionIndex",
+    "parse_suppressions",
+    "load_baseline",
+    "format_finding",
+]
+
+_SUPPRESS_RE = re.compile(r"pando-lint:\s*ignore\[([a-z*][a-z0-9_*,\- ]*)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static-analysis finding."""
+
+    checker: str  #: checker id, e.g. ``"callback-discipline"``
+    path: str  #: file path as given to the analyzer
+    line: int  #: 1-based line the finding anchors to
+    message: str  #: one-line description
+    function: str = ""  #: qualified name of the enclosing function, if any
+    detail: str = ""  #: optional multi-line elaboration (e.g. a call path)
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-free identity used by the baseline file."""
+        return f"{self.checker}|{self.path}|{self.function}|{self.message}"
+
+
+class SuppressionIndex:
+    """Per-file map of ``# pando-lint: ignore[...]`` comments.
+
+    A suppression on line *n* covers findings on line *n* and on line
+    *n + 1* — the latter so a standalone comment line can precede a long
+    statement that has no room for a trailing comment.
+    """
+
+    def __init__(self, by_line: Dict[int, Set[str]]) -> None:
+        self._by_line = by_line
+        #: suppressions that silenced at least one finding (unused-suppression
+        #: reporting starts from the complement)
+        self.used: Set[int] = set()
+
+    def covers(self, line: int, checker: str) -> bool:
+        for candidate in (line, line - 1):
+            checkers = self._by_line.get(candidate)
+            if checkers is not None and (checker in checkers or "*" in checkers):
+                self.used.add(candidate)
+                return True
+        return False
+
+    @property
+    def lines(self) -> Set[int]:
+        return set(self._by_line)
+
+
+def parse_suppressions(source: str) -> SuppressionIndex:
+    """Extract the suppression comments of *source* (tokenizer-accurate)."""
+    by_line: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            checkers = {part.strip() for part in match.group(1).split(",")}
+            by_line.setdefault(token.start[0], set()).update(
+                checker for checker in checkers if checker
+            )
+    except tokenize.TokenizeError:  # pragma: no cover - source already parsed
+        pass
+    return SuppressionIndex(by_line)
+
+
+def load_baseline(path: str) -> Set[str]:
+    """Read a baseline file into a set of tolerated fingerprints.
+
+    Blank lines and ``#`` comments are ignored, so an empty baseline can
+    still document itself.
+    """
+    fingerprints: Set[str] = set()
+    with open(path, "r", encoding="utf-8") as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            fingerprints.add(line)
+    return fingerprints
+
+
+def format_finding(finding: Finding, show_detail: bool = True) -> str:
+    """Render one finding the way compilers do: ``path:line: [id] message``."""
+    where = f"{finding.path}:{finding.line}"
+    scope = f" in {finding.function}" if finding.function else ""
+    text = f"{where}: [{finding.checker}]{scope}: {finding.message}"
+    if show_detail and finding.detail:
+        text += "\n" + "\n".join(f"    {line}" for line in finding.detail.splitlines())
+    return text

@@ -97,9 +97,11 @@ class ArxivTaggingApplication(Application):
     def process(self, value: Any, cb: NodeCallback) -> None:
         try:
             paper = self._unwrap(value)
-            cb(None, self.tagger.tag(paper))
+            result = self.tagger.tag(paper)
         except Exception as exc:
             cb(exc, None)
+            return
+        cb(None, result)
 
     def cost(self, value: Any) -> float:
         return 1.0

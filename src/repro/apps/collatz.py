@@ -79,9 +79,11 @@ class CollatzApplication(Application):
                 steps = collatz_steps(candidate)
                 if steps > best_steps:
                     best_n, best_steps = candidate, steps
-            cb(None, {"n": best_n, "steps": best_steps, "checked": count})
+            result = {"n": best_n, "steps": best_steps, "checked": count}
         except Exception as exc:
             cb(exc, None)
+            return
+        cb(None, result)
 
     def cost(self, value: Any) -> float:
         spec = self._unwrap(value)

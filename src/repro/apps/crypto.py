@@ -99,29 +99,25 @@ class CryptoMiningApplication(Application):
             block = attempt["block"]
             start, count = int(attempt["start"]), int(attempt["count"])
             bits = int(attempt.get("difficulty_bits", self.difficulty_bits))
+            result = {
+                "found": False,
+                "nonce": None,
+                "height": attempt.get("height", 0),
+                "hashes": count,
+            }
             for nonce in range(start, start + count):
                 if meets_difficulty(hash_attempt(block, nonce), bits):
-                    cb(
-                        None,
-                        {
-                            "found": True,
-                            "nonce": nonce,
-                            "height": attempt.get("height", 0),
-                            "hashes": nonce - start + 1,
-                        },
-                    )
-                    return
-            cb(
-                None,
-                {
-                    "found": False,
-                    "nonce": None,
-                    "height": attempt.get("height", 0),
-                    "hashes": count,
-                },
-            )
+                    result = {
+                        "found": True,
+                        "nonce": nonce,
+                        "height": attempt.get("height", 0),
+                        "hashes": nonce - start + 1,
+                    }
+                    break
         except Exception as exc:
             cb(exc, None)
+            return
+        cb(None, result)
 
     def cost(self, value: Any) -> float:
         attempt = self._unwrap(value)

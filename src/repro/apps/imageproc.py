@@ -20,7 +20,7 @@ the blur is a real separable box filter implemented with numpy.
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, Optional
 
 import numpy as np
 
@@ -170,16 +170,15 @@ class ImageProcessingApplication(Application):
             tile = self.store.fetch(tile_id)
             blurred = box_blur(tile, self.blur_radius)
             self.store.upload(tile_id, blurred)
-            cb(
-                None,
-                {
-                    "tile_id": tile_id,
-                    "mean": float(blurred.mean()),
-                    "variance": float(blurred.var()),
-                },
-            )
+            result = {
+                "tile_id": tile_id,
+                "mean": float(blurred.mean()),
+                "variance": float(blurred.var()),
+            }
         except Exception as exc:
             cb(exc, None)
+            return
+        cb(None, result)
 
     def cost(self, value: Any) -> float:
         return 1.0

@@ -163,9 +163,11 @@ class LenderTestApplication(Application):
                 outcome = run_random_execution(seed + offset)
                 if not outcome["ok"]:
                     failures.append(outcome)
-            cb(None, {"executions": count, "failures": failures, "ok": not failures})
+            result = {"executions": count, "failures": failures, "ok": not failures}
         except Exception as exc:
             cb(exc, None)
+            return
+        cb(None, result)
 
     def cost(self, value: Any) -> float:
         spec = self._unwrap(value)

@@ -164,9 +164,10 @@ class MLAgentApplication(Application):
             )
             outcome = agent.train(int(spec["steps"]))
             outcome["learning_rate"] = spec["learning_rate"]
-            cb(None, outcome)
         except Exception as exc:
             cb(exc, None)
+            return
+        cb(None, outcome)
 
     def cost(self, value: Any) -> float:
         spec = self._unwrap(value)

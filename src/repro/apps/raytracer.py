@@ -181,17 +181,16 @@ class RaytraceApplication(Application):
             angle = float(spec["angle"])
             pixels = render_scene(angle, self.width, self.height)
             encoded = encode_binary(pixels.tobytes())
-            cb(
-                None,
-                {
-                    "angle": angle,
-                    "frame": spec.get("frame"),
-                    "pixels": encoded,
-                    "shape": list(pixels.shape),
-                },
-            )
+            result = {
+                "angle": angle,
+                "frame": spec.get("frame"),
+                "pixels": encoded,
+                "shape": list(pixels.shape),
+            }
         except Exception as exc:
             cb(exc, None)
+            return
+        cb(None, result)
 
     def cost(self, value: Any) -> float:
         return 1.0

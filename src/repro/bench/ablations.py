@@ -17,7 +17,7 @@ Three design decisions the paper discusses are made measurable here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict
 
 from ..apps import registry as app_registry
 from ..devices.profiles import devices_for_setting

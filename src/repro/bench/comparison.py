@@ -14,13 +14,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Iterable, List, Optional
 
 from ..devices.profiles import (
     DeviceProfile,
-    LAN_DEVICES,
-    VPN_DEVICES,
-    WAN_DEVICES,
     device_by_name,
 )
 
@@ -159,9 +156,11 @@ def _node_style_wrapper(fn_ref: Any) -> Callable[[Any, Callable], None]:
 
     def node_fn(value: Any, cb: Callable) -> None:
         try:
-            cb(None, fn(value))
+            result = fn(value)
         except Exception as exc:
             cb(exc, None)
+            return
+        cb(None, result)
 
     return node_fn
 

@@ -12,7 +12,7 @@ towards the no-latency ceiling as the window grows, and where the crossover
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..apps import registry as app_registry
 from ..devices.profiles import devices_for_setting

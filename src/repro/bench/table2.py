@@ -19,8 +19,8 @@ from typing import Dict, List, Optional
 
 from ..apps import registry as app_registry
 from ..apps.base import Application
-from ..devices.profiles import APPLICATIONS, APPLICATION_UNITS, devices_for_setting
-from ..sim.scenario import DeploymentScenario, ScenarioConfig, default_batch_size
+from ..devices.profiles import APPLICATION_UNITS, devices_for_setting
+from ..sim.scenario import DeploymentScenario, ScenarioConfig
 
 __all__ = [
     "Table2Cell",

@@ -261,6 +261,14 @@ def _run_simulated(app, setting: str, count: Optional[int], stderr) -> List[Any]
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``pando`` console script."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # ``pando lint ...`` delegates to the static analysis pass; the
+        # heavy pipeline options below do not apply to it
+        from ..analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     stderr = sys.stderr

@@ -16,7 +16,7 @@ from typing import Any, Callable, Dict, List, Optional
 from ..errors import PandoError
 from ..pullstream import async_map, batching, pull, unbatching
 from ..pullstream.duplex import Duplex
-from ..pullstream.protocol import Source
+from ..pullstream.protocol import ProtocolChecker, Source
 from ..pullstream.sinks import SinkResult
 from .lender import StreamLender, SubStream, UnorderedStreamLender
 from .limiter import Limiter
@@ -109,6 +109,7 @@ class DistributedMap:
         shards: int = 1,
         split_buffer: Optional[int] = None,
         scheduler: Optional[Any] = None,
+        debug: bool = False,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -144,6 +145,14 @@ class DistributedMap:
             )
         else:
             self.lender = StreamLender() if ordered else UnorderedStreamLender()
+        #: with ``debug=True`` every worker sub-stream is wrapped in a
+        #: :class:`~repro.pullstream.protocol.ProtocolChecker`, so a lender
+        #: or limiter protocol violation raises at the faulty call instead
+        #: of surfacing as a hang or a duplicated value
+        self.debug = debug
+        #: the installed checkers (debug mode), in attachment order; their
+        #: ``trace`` attributes record every request/answer pair
+        self.protocol_checkers: List[ProtocolChecker] = []
         self._workers: Dict[str, WorkerHandle] = {}
         self._pools: List[Any] = []
         self._counter = 0
@@ -185,7 +194,7 @@ class DistributedMap:
         window = batch_size if batch_size is not None else self.batch_size
         limiter = Limiter(channel, window)
         sub = self._lend_substream(worker_id)
-        self._wire(sub, limiter, frame_batch)
+        self._wire(sub, limiter, frame_batch, worker_id)
         handle = WorkerHandle(worker_id, sub, limiter)
         self._workers[worker_id] = handle
         return handle
@@ -206,7 +215,7 @@ class DistributedMap:
         """
         worker_id = self._claim_worker_id(worker_id)
         sub = self._lend_substream(worker_id)
-        pull(sub.source, async_map(fn), sub.sink)
+        pull(self._checked_source(sub, worker_id), async_map(fn), sub.sink)
         handle = WorkerHandle(worker_id, sub, None)
         self._workers[worker_id] = handle
         return handle
@@ -287,7 +296,7 @@ class DistributedMap:
         except Exception:
             pool.close()
             raise
-        self._wire(sub, limiter, frame)
+        self._wire(sub, limiter, frame, worker_id)
         handle = WorkerHandle(worker_id, sub, limiter, pool=pool)
         self._workers[worker_id] = handle
         self._pools.append(pool)
@@ -331,13 +340,23 @@ class DistributedMap:
             ) from (result if isinstance(result, BaseException) else None)
         return result
 
-    @staticmethod
-    def _wire(sub: SubStream, limiter: Limiter, frame_batch: int) -> None:
+    def _checked_source(self, sub: SubStream, worker_id: str) -> Source:
+        """The sub-stream source, protocol-checked in debug mode."""
+        if not self.debug:
+            return sub.source
+        checker = ProtocolChecker(sub.source, name=f"sub-stream:{worker_id}")
+        self.protocol_checkers.append(checker)
+        return checker
+
+    def _wire(
+        self, sub: SubStream, limiter: Limiter, frame_batch: int, worker_id: str
+    ) -> None:
         """Figure 9 wiring, optionally framing values into batches."""
+        source = self._checked_source(sub, worker_id)
         if frame_batch > 1:
-            pull(sub.source, batching(frame_batch), limiter, unbatching(), sub.sink)
+            pull(source, batching(frame_batch), limiter, unbatching(), sub.sink)
         else:
-            pull(sub.source, limiter, sub.sink)
+            pull(source, limiter, sub.sink)
 
     # ------------------------------------------------------------ pumping
     def drive(

@@ -11,8 +11,7 @@ network latency is hidden (paper sections 5.2-5.5, "batch size").
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Any, Callable, Deque, Optional
+from typing import Any, Callable, Optional
 
 from ..errors import ProtocolError
 from ..pullstream.duplex import Duplex

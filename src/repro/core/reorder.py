@@ -9,7 +9,7 @@ result is available.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, Optional, Tuple
+from typing import Any, Dict, Iterator
 
 __all__ = ["ReorderBuffer"]
 

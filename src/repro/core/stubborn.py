@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from ..errors import ExternalTransferError
-from ..pullstream.protocol import DONE, Callback, End, Source
+from ..pullstream.protocol import Callback, End, Source
 
 __all__ = ["stubborn", "StubbornStats"]
 

@@ -25,6 +25,16 @@ class StreamAborted(PandoError):
     """A downstream consumer aborted the stream before it finished."""
 
 
+class ThreadOwnershipError(PandoError):
+    """A ``@loop_only`` function was entered from a foreign thread.
+
+    Raised only when the runtime thread asserts of
+    :mod:`repro.analysis.annotations` are enabled (debug mode); the static
+    ``pando-lint`` pass catches the same class of violation without running
+    the code.
+    """
+
+
 class WorkerCrashed(PandoError):
     """A volunteer device crashed (crash-stop failure) while holding values."""
 

@@ -10,7 +10,7 @@ failure probability (from the :class:`~repro.sim.network.LinkProfile`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from ..sim.network import NetworkModel
 

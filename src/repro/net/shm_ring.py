@@ -136,8 +136,21 @@ class ShmRing:
         self.slots_released += 1
 
     def release_all(self, slots: Sequence[int]) -> None:
+        """Release every slot in *slots*, even when one release fails.
+
+        A double release mid-sequence must not abandon the remaining slots
+        (each would leak until :meth:`close`): every slot gets its release
+        attempted, then the first error is re-raised.
+        """
+        first_error: Optional[BaseException] = None
         for slot in slots:
-            self.release(slot)
+            try:
+                self.release(slot)
+            except Exception as exc:
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
 
     def write(self, slot: int, data: Any) -> int:
         """memcpy *data* (a bytes-like) into *slot*; returns the length."""

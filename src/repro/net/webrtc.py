@@ -89,14 +89,10 @@ class WebRTCConnection(SimChannel):
             self.relay_host = self.signalling_server.host
             self._establish_direct(cb)
 
-        self._run_signalling(after_signalling, cb)
+        self._run_signalling(after_signalling)
 
     # ------------------------------------------------------------ internals
-    def _run_signalling(
-        self,
-        on_success: Callable[[], None],
-        cb: Callable[[Optional[BaseException], "WebRTCConnection"], None],
-    ) -> None:
+    def _run_signalling(self, on_success: Callable[[], None]) -> None:
         if self.signalling_server is None:
             # Both peers are directly reachable (e.g. tests): skip signalling.
             on_success()

@@ -51,6 +51,7 @@ from collections import deque
 from concurrent.futures import CancelledError, Future, ProcessPoolExecutor
 from typing import Any, Callable, Deque, List, Optional, Tuple
 
+from ..analysis.annotations import loop_only
 from ..errors import PandoError, ProtocolError, WorkerCrashed
 from ..net.serialization import OOB_MIN_BYTES, Batch
 from ..net.shm_ring import ShmRing, pack_frame, unpack_frame
@@ -331,6 +332,7 @@ class ProcessPoolWorker:
         waiting(termination, None)
 
     # ----------------------------------------------------- polled delivery
+    @loop_only
     def poll(self, limit: Optional[int] = None) -> bool:
         """Deliver ready results to a parked ask (non-blocking mode).
 

@@ -28,6 +28,7 @@ import importlib
 import inspect
 from typing import Any, Callable, List, Tuple, Union
 
+from ..analysis.annotations import any_thread
 from ..errors import PandoError
 
 __all__ = [
@@ -141,12 +142,14 @@ def _apply(fn: Callable[..., Any], node_style: bool, value: Any) -> Any:
     return box["result"]
 
 
+@any_thread
 def run_task(ref: FunctionRef, value: Any) -> Any:
     """Executor entry point: apply the referenced function to one value."""
     fn, node_style = _prepared(ref)
     return _apply(fn, node_style, value)
 
 
+@any_thread
 def run_batch(ref: FunctionRef, values: List[Any]) -> List[Any]:
     """Executor entry point: apply the referenced function to a whole frame.
 
@@ -157,6 +160,7 @@ def run_batch(ref: FunctionRef, values: List[Any]) -> List[Any]:
     return [_apply(fn, node_style, value) for value in values]
 
 
+@any_thread
 def run_shm_task(
     ref: FunctionRef, ring_name: str, slot_size: int, entry: Any, min_bytes: int
 ) -> Any:
@@ -174,6 +178,7 @@ def run_shm_task(
     return store_entry(ring_name, slot_size, entry, result, min_bytes=min_bytes)
 
 
+@any_thread
 def run_shm_batch(
     ref: FunctionRef,
     ring_name: str,

@@ -9,9 +9,9 @@ the Limiter and the channel back into the sub-stream sink).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any
 
-from .protocol import Callback, End, Sink, Source
+from .protocol import End, Sink, Source
 from .pushable import Pushable
 from .sinks import SinkResult, drain
 

@@ -10,9 +10,10 @@ built on this bridge.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Optional, Tuple
+from typing import Any, Callable, Deque, Optional
 
-from .protocol import DONE, Callback, End, Source
+from ..analysis.annotations import loop_only
+from .protocol import DONE, Callback, End
 
 __all__ = ["Pushable", "pushable"]
 
@@ -36,8 +37,13 @@ class Pushable:
         self._closed_notified = False
 
     # -- producer side -----------------------------------------------------
+    @loop_only
     def push(self, value: Any) -> None:
-        """Append *value*; delivered immediately if a consumer is waiting."""
+        """Append *value*; delivered immediately if a consumer is waiting.
+
+        Not thread-safe: foreign threads go through
+        :class:`~repro.sched.sources.PushablePort` instead.
+        """
         if self._ended is not None:
             return
         if self._waiting is not None:
@@ -46,10 +52,12 @@ class Pushable:
         else:
             self._buffer.append(value)
 
+    @loop_only
     def end(self) -> None:
         """Terminate the stream normally once the buffer drains."""
         self._terminate(DONE)
 
+    @loop_only
     def error(self, exc: BaseException) -> None:
         """Terminate the stream with an error once the buffer drains."""
         self._terminate(exc)

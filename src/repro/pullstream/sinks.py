@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Any, Callable, List, Optional
 
 from ..errors import PandoError
-from .protocol import DONE, Callback, End, Source, is_done, is_error
+from .protocol import DONE, End, Source, is_error
 
 __all__ = [
     "SinkResult",

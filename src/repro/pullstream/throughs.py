@@ -22,7 +22,7 @@ borrowed values hostage and deadlock the map.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Iterable, Optional
+from typing import Any, Callable, Optional
 
 from ..errors import ProtocolError
 from .protocol import DONE, Callback, End, Source, is_error

@@ -29,6 +29,12 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Callable, List, Optional
 
+from ..analysis.annotations import (
+    any_thread,
+    loop_only,
+    mark_loop_thread,
+    unmark_loop_thread,
+)
 from ..errors import PandoError
 from ..pullstream.pushable import Pushable
 from ..pullstream.sinks import SinkResult
@@ -120,6 +126,7 @@ class EventLoopScheduler:
         self._dispatch_listeners.append(listener)
 
     # ------------------------------------------------------- dispatch core
+    @loop_only
     def dispatch_round(self) -> int:
         """Give every currently-ready source one unit of work.
 
@@ -170,12 +177,14 @@ class EventLoopScheduler:
         return any(source.live() for source in self._sources)
 
     # ------------------------------------------------------------- wake-ups
+    @any_thread
     def wake(self) -> None:
         """Wake a waiting :meth:`run` from any thread (no-op when not waiting)."""
         loop, event = self._loop, self._wake_event
         if loop is not None and event is not None and not loop.is_closed():
             loop.call_soon_threadsafe(event.set)
 
+    @loop_only
     def wake_after(self, delay: float) -> None:
         """Arm a loop timer waking the scheduler in *delay* seconds.
 
@@ -225,6 +234,9 @@ class EventLoopScheduler:
             raise PandoError("EventLoopScheduler.run is not reentrant")
         loop = self._ensure_loop()
         self._running = True
+        # the thread spinning the loop owns every @loop_only function for
+        # the duration of the run (checked only in debug mode)
+        previous_owner = mark_loop_thread()
         try:
             loop.run_until_complete(
                 async_pump(
@@ -237,6 +249,7 @@ class EventLoopScheduler:
                 )
             )
         finally:
+            unmark_loop_thread(previous_owner)
             self._running = False
             if self._timer is not None:
                 self._timer.cancel()

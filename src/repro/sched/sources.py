@@ -33,6 +33,7 @@ import time
 from collections import deque
 from typing import Any, Deque, Optional, Tuple
 
+from ..analysis.annotations import any_thread, loop_only
 from ..errors import PandoError
 from ..pullstream.pushable import Pushable
 
@@ -98,6 +99,7 @@ class PoolEventSource(EventSource):
     def ready(self) -> bool:
         return self.pool.deliverable
 
+    @loop_only
     def dispatch(self) -> bool:
         return self.pool.poll(limit=1)
 
@@ -199,18 +201,22 @@ class PushablePort(EventSource):
         self.values_ported = 0
 
     # -- producer side (any thread) ---------------------------------------
+    @any_thread
     def push(self, value: Any) -> None:
         """Queue *value* for delivery into the stream (thread-safe)."""
         self._enqueue(("value", value))
 
+    @any_thread
     def end(self) -> None:
         """Terminate the stream normally once queued values drain."""
         self._enqueue(("end", None))
 
+    @any_thread
     def error(self, exc: BaseException) -> None:
         """Terminate the stream with *exc* once queued values drain."""
         self._enqueue(("error", exc))
 
+    @any_thread
     def _enqueue(self, op: Tuple[str, Any]) -> None:
         with self._lock:
             if self._sealed:
@@ -225,6 +231,7 @@ class PushablePort(EventSource):
         with self._lock:
             return bool(self._inbox)
 
+    @loop_only
     def dispatch(self) -> bool:
         with self._lock:
             if not self._inbox:

@@ -11,8 +11,8 @@ deterministically or randomly.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 __all__ = ["FailureEvent", "FailureSchedule", "ChurnModel"]
 

@@ -9,8 +9,8 @@ throughput observed at the output of Pando" (section 5.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 __all__ = ["WorkerMetrics", "MetricsCollector", "ThroughputReport"]
 

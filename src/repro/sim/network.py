@@ -18,8 +18,8 @@ connectivity (used by the failure injector).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 __all__ = [
     "LinkProfile",

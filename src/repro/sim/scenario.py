@@ -17,9 +17,8 @@ in virtual time.  Two modes are provided:
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 from ..apps.base import Application
 from ..devices.profiles import DeviceProfile, devices_for_setting

@@ -10,7 +10,7 @@ the stream ends, the device crashes, or the volunteer leaves.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from ..devices.device import SimDevice
 from ..devices.profiles import DeviceProfile

@@ -15,7 +15,6 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from ..devices.device import SimDevice
-from ..errors import WorkerCrashed
 from ..master.bundler import Bundle
 from ..net.channel import ChannelEndpoint
 from ..pullstream import async_map, pull
@@ -70,7 +69,7 @@ class BrowserTab:
         if self.closed or self.bundle is None:
             # A crashed tab never answers; the master's heartbeat timeout
             # detects the silence.
-            return
+            return  # pando-lint: ignore[callback-discipline]
         application = self.bundle.application
         app_name = getattr(application, "name", "generic")
         cost = (

@@ -1,0 +1,45 @@
+"""Fixtures for the pando-lint test suite.
+
+The core helper turns a source string into analyzed modules and runs a
+single checker (or the whole battery) over it, so each test can seed a
+violation inline and assert the checker catches it — or feed it a clean
+exemplar and assert zero false positives.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from typing import List, Optional, Sequence
+
+import pytest
+
+from repro.analysis.findings import Finding
+from repro.analysis.runner import LintResult, analyze_paths, run_checkers
+
+
+@pytest.fixture
+def lint(tmp_path):
+    """``lint(source, checks=[...]) -> LintResult`` over a source snippet."""
+
+    def _lint(
+        source: str,
+        checks: Optional[Sequence[str]] = None,
+        filename: str = "fixture.py",
+        baseline=None,
+    ) -> LintResult:
+        path = tmp_path / filename
+        path.write_text(textwrap.dedent(source))
+        modules = analyze_paths([str(path)])
+        return run_checkers(modules, checks=checks, baseline=baseline)
+
+    return _lint
+
+
+@pytest.fixture
+def findings_of(lint):
+    """``findings_of(source, checker) -> List[Finding]`` for one checker."""
+
+    def _findings(source: str, checker: str) -> List[Finding]:
+        return lint(source, checks=[checker]).findings
+
+    return _findings

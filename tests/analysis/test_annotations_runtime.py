@@ -1,0 +1,150 @@
+"""Runtime behaviour of @loop_only / @any_thread and the thread registry."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis.annotations import (
+    any_thread,
+    enable_thread_asserts,
+    loop_only,
+    loop_thread_ident,
+    mark_loop_thread,
+    ownership_of,
+    thread_asserts_enabled,
+    unmark_loop_thread,
+)
+from repro.errors import ThreadOwnershipError
+
+
+@pytest.fixture
+def asserts_enabled():
+    """Enable the runtime checks and register this thread as the loop."""
+    previously_enabled = thread_asserts_enabled()
+    previous_owner = mark_loop_thread()
+    enable_thread_asserts(True)
+    yield
+    enable_thread_asserts(previously_enabled)
+    unmark_loop_thread(previous_owner)
+
+
+def _call_in_thread(fn):
+    """Run *fn* on a foreign thread; return the exception it raised, if any."""
+    box = {}
+
+    def runner():
+        try:
+            fn()
+        except BaseException as exc:  # noqa: BLE001 - captured for assertion
+            box["exc"] = exc
+
+    thread = threading.Thread(target=runner)
+    thread.start()
+    thread.join()
+    return box.get("exc")
+
+
+class TestLoopOnly:
+    def test_foreign_thread_raises_when_asserts_enabled(self, asserts_enabled):
+        @loop_only
+        def dispatch():
+            return "dispatched"
+
+        exc = _call_in_thread(dispatch)
+        assert isinstance(exc, ThreadOwnershipError)
+        assert "dispatch" in str(exc)
+        assert "PushablePort" in str(exc)  # the message names the fix
+
+    def test_loop_thread_passes_when_asserts_enabled(self, asserts_enabled):
+        @loop_only
+        def dispatch():
+            return "dispatched"
+
+        assert dispatch() == "dispatched"
+
+    def test_no_check_when_asserts_disabled(self):
+        previous_owner = mark_loop_thread()
+        previously_enabled = thread_asserts_enabled()
+        enable_thread_asserts(False)
+        try:
+
+            @loop_only
+            def dispatch():
+                return "dispatched"
+
+            assert _call_in_thread(dispatch) is None
+        finally:
+            enable_thread_asserts(previously_enabled)
+            unmark_loop_thread(previous_owner)
+
+    def test_no_check_when_loop_unmarked(self, asserts_enabled):
+        previous = loop_thread_ident()
+        unmark_loop_thread()
+        try:
+
+            @loop_only
+            def dispatch():
+                return "dispatched"
+
+            assert _call_in_thread(dispatch) is None
+        finally:
+            mark_loop_thread(previous)
+
+    def test_tag_survives_the_wrapper(self):
+        @loop_only
+        def dispatch():
+            pass
+
+        assert ownership_of(dispatch) == "loop_only"
+        assert ownership_of(dispatch.__wrapped__) == "loop_only"
+
+
+class TestAnyThread:
+    def test_any_thread_is_a_pure_tag(self):
+        def entry_point(x):
+            return x * 2
+
+        tagged = any_thread(entry_point)
+        # identity preserved: executor.submit(entry_point) pickles the
+        # original function by reference, so no wrapper is tolerable here
+        assert tagged is entry_point
+        assert ownership_of(tagged) == "any_thread"
+        assert tagged(21) == 42
+
+    def test_untagged_function_has_no_ownership(self):
+        def plain():
+            pass
+
+        assert ownership_of(plain) is None
+
+
+class TestLoopThreadRegistry:
+    def test_mark_returns_previous_for_restore(self):
+        first = mark_loop_thread(111)
+        try:
+            assert loop_thread_ident() == 111
+            second = mark_loop_thread(222)
+            assert second == 111
+            assert loop_thread_ident() == 222
+            unmark_loop_thread(second)
+            assert loop_thread_ident() == 111
+        finally:
+            unmark_loop_thread(first)
+
+    def test_scheduler_run_marks_and_restores(self):
+        # EventLoopScheduler.run registers its thread for the duration of
+        # the run and restores the previous owner afterwards.
+        from repro.pullstream import collect, pull, values
+        from repro.sched.event_loop import EventLoopScheduler
+
+        sentinel = mark_loop_thread(12345)
+        try:
+            scheduler = EventLoopScheduler()
+            sink = pull(values([1, 2, 3]), collect())  # completes synchronously
+            scheduler.run(sink, timeout=5)
+            scheduler.close()
+            assert loop_thread_ident() == 12345
+        finally:
+            unmark_loop_thread(sentinel)

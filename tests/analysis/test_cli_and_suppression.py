@@ -1,0 +1,193 @@
+"""The pando-lint front door: suppressions, baseline, CLI and exit codes."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.analysis.cli import main as lint_main
+from repro.analysis.findings import Finding
+from repro.cli.pando_cli import main as pando_main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: a snippet with exactly one callback-discipline violation on line 3
+VIOLATION = """\
+def node(value, cb):
+    if value is None:
+        return
+    cb(None, value)
+"""
+
+CLEAN = """\
+def node(value, cb):
+    cb(None, value)
+"""
+
+
+class TestSuppressions:
+    def test_trailing_comment_silences_the_finding(self, lint):
+        result = lint(
+            """
+            def node(value, cb):
+                if value is None:
+                    return  # pando-lint: ignore[callback-discipline]
+                cb(None, value)
+            """
+        )
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_comment_on_the_line_above_also_covers(self, lint):
+        result = lint(
+            """
+            def node(value, cb):
+                if value is None:
+                    # pando-lint: ignore[callback-discipline]
+                    return
+                cb(None, value)
+            """
+        )
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_wildcard_silences_any_checker(self, lint):
+        result = lint(
+            """
+            def node(value, cb):
+                if value is None:
+                    return  # pando-lint: ignore[*]
+                cb(None, value)
+            """
+        )
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_wrong_checker_id_does_not_silence(self, lint):
+        result = lint(
+            """
+            def node(value, cb):
+                if value is None:
+                    return  # pando-lint: ignore[resource-pairing]
+                cb(None, value)
+            """
+        )
+        assert len(result.findings) == 1
+        assert result.suppressed == 0
+
+
+class TestBaseline:
+    def test_baselined_fingerprint_is_filtered(self, lint):
+        first = lint(VIOLATION)
+        assert len(first.findings) == 1
+        fingerprint = first.findings[0].fingerprint
+        second = lint(VIOLATION, baseline={fingerprint})
+        assert second.findings == []
+        assert second.baselined == 1
+
+    def test_fingerprint_is_line_free(self):
+        # an edit that only moves the finding must not invalidate a
+        # baseline entry
+        a = Finding("c", "p.py", 3, "msg", function="f")
+        b = Finding("c", "p.py", 30, "msg", function="f")
+        assert a.fingerprint == b.fingerprint
+
+    def test_committed_baseline_is_empty(self):
+        from repro.analysis.findings import load_baseline
+
+        assert load_baseline(str(REPO_ROOT / "lint-baseline.txt")) == set()
+
+
+class TestCliExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text(CLEAN)
+        assert lint_main([str(target)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().err
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text(VIOLATION)
+        assert lint_main([str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "bad.py:3" in out
+        assert "[callback-discipline]" in out
+
+    def test_unknown_checker_exits_two(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text(CLEAN)
+        assert lint_main([str(target), "--checks", "no-such-check"]) == 2
+        assert "unknown checker" in capsys.readouterr().err
+
+    def test_missing_baseline_exits_two(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text(CLEAN)
+        assert lint_main([str(target), "--baseline", str(tmp_path / "nope")]) == 2
+
+    def test_missing_path_exits_two(self, tmp_path):
+        assert lint_main([str(tmp_path / "missing.py")]) == 2
+
+    def test_parse_error_exits_two(self, tmp_path, capsys):
+        target = tmp_path / "broken.py"
+        target.write_text("def broken(:\n")
+        assert lint_main([str(target)]) == 2
+        assert "parse error" in capsys.readouterr().err
+
+    def test_list_checks(self, capsys):
+        assert lint_main(["--list-checks"]) == 0
+        out = capsys.readouterr().out
+        for checker_id in (
+            "callback-discipline",
+            "resource-pairing",
+            "thread-ownership",
+            "blocking-call-on-loop",
+        ):
+            assert checker_id in out
+
+
+class TestCliOutput:
+    def test_json_format(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text(VIOLATION)
+        assert lint_main([str(target), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files"] == 1
+        assert len(payload["findings"]) == 1
+        finding = payload["findings"][0]
+        assert finding["checker"] == "callback-discipline"
+        assert finding["line"] == 3
+        assert finding["function"] == "node"
+        assert finding["fingerprint"].startswith("callback-discipline|")
+
+    def test_checks_filter_limits_the_run(self, tmp_path):
+        target = tmp_path / "bad.py"
+        target.write_text(VIOLATION)
+        assert lint_main([str(target), "--checks", "resource-pairing"]) == 0
+
+    def test_pando_lint_subcommand_delegates(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text(VIOLATION)
+        assert pando_main(["lint", str(target)]) == 1
+        assert "[callback-discipline]" in capsys.readouterr().out
+
+
+class TestSelfLint:
+    def test_src_repro_is_clean_under_the_committed_baseline(self, capsys):
+        """The acceptance gate: the shipped tree lints clean."""
+        exit_code = lint_main(
+            [
+                str(REPO_ROOT / "src" / "repro"),
+                "--baseline",
+                str(REPO_ROOT / "lint-baseline.txt"),
+            ]
+        )
+        assert exit_code == 0
+        # the baseline is empty, so zero findings means zero — not
+        # grandfathered-away
+        assert "0 finding(s)" in capsys.readouterr().err
+
+    def test_textwrap_fixture_sources_parse(self):
+        # guard against indentation mistakes in this file's snippets
+        compile(textwrap.dedent(VIOLATION), "<v>", "exec")
+        compile(textwrap.dedent(CLEAN), "<c>", "exec")

@@ -1,0 +1,165 @@
+"""resource-pairing: every acquire is released or visibly escapes."""
+
+from __future__ import annotations
+
+CHECK = "resource-pairing"
+
+
+class TestSeededViolations:
+    def test_leaked_slot_on_early_return_is_caught(self, findings_of):
+        findings = findings_of(
+            """
+            def send(self, ring, data):
+                slot = ring.acquire()
+                if not self.open:
+                    return  # bug: the slot is never released
+                ring.write(slot, data)
+                ring.release(slot)
+            """,
+            CHECK,
+        )
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.checker == CHECK
+        assert finding.function == "send"
+        assert "slot" in finding.message
+
+    def test_leaked_shared_memory_handle_is_caught(self, findings_of):
+        findings = findings_of(
+            """
+            def attach(name):
+                segment = SharedMemory(name=name)
+                data = bytes(segment.buf[:4])
+                if not data:
+                    return None  # bug: segment never closed on this path
+                segment.close()
+                return data
+            """,
+            CHECK,
+        )
+        assert len(findings) == 1
+
+    def test_leaked_executor_is_caught(self, findings_of):
+        findings = findings_of(
+            """
+            def run(tasks):
+                executor = ProcessPoolExecutor(2)
+                if not tasks:
+                    return []
+                results = [executor.submit(task) for task in tasks]
+                executor.shutdown()
+                return results
+            """,
+            CHECK,
+        )
+        assert len(findings) == 1
+
+    def test_discarded_acquire_is_caught(self, findings_of):
+        findings = findings_of(
+            """
+            def warm(ring):
+                ring.acquire()  # bug: the slot can never be released
+            """,
+            CHECK,
+        )
+        assert len(findings) == 1
+
+
+class TestCleanExemplars:
+    def test_acquire_release_pair_is_clean(self, findings_of):
+        assert not findings_of(
+            """
+            def send(ring, data):
+                slot = ring.acquire()
+                ring.write(slot, data)
+                ring.release(slot)
+            """,
+            CHECK,
+        )
+
+    def test_release_in_finally_covers_all_exits(self, findings_of):
+        assert not findings_of(
+            """
+            def send(ring, data):
+                slot = ring.acquire()
+                try:
+                    ring.write(slot, data)
+                finally:
+                    ring.release(slot)
+            """,
+            CHECK,
+        )
+
+    def test_none_narrowing_of_nonblocking_acquire(self, findings_of):
+        # ``None`` means the ring was exhausted: nothing to release there.
+        assert not findings_of(
+            """
+            def try_send(ring, data):
+                slot = ring.acquire()
+                if slot is None:
+                    return False
+                ring.write(slot, data)
+                ring.release(slot)
+                return True
+            """,
+            CHECK,
+        )
+
+    def test_escape_via_return_moves_ownership(self, findings_of):
+        assert not findings_of(
+            """
+            def borrow(ring):
+                slot = ring.acquire()
+                return slot
+            """,
+            CHECK,
+        )
+
+    def test_escape_into_container_moves_ownership(self, findings_of):
+        assert not findings_of(
+            """
+            def borrow_all(ring, slots):
+                slot = ring.acquire()
+                slots.append(slot)
+            """,
+            CHECK,
+        )
+
+    def test_calls_on_the_ring_itself_keep_tracking(self, findings_of):
+        # ``ring.write(slot, ...)`` is a use, not an ownership transfer —
+        # a leak after it must still be caught.
+        findings = findings_of(
+            """
+            def send(self, ring, data):
+                slot = ring.acquire()
+                ring.write(slot, data)
+                if data is None:
+                    return  # bug: used but never released
+                ring.release(slot)
+            """,
+            CHECK,
+        )
+        assert len(findings) == 1
+
+    def test_shared_memory_closed_and_unlinked_is_clean(self, findings_of):
+        assert not findings_of(
+            """
+            def create(name, size):
+                segment = SharedMemory(name=name, create=True, size=size)
+                segment.close()
+                segment.unlink()
+            """,
+            CHECK,
+        )
+
+    def test_plain_lock_acquire_is_not_tracked(self, findings_of):
+        # Only ring-named receivers are slot acquires; a threading.Lock
+        # acquire/release pattern is out of scope for this checker.
+        assert not findings_of(
+            """
+            def guarded(lock):
+                lock.acquire()
+                work()
+            """,
+            CHECK,
+        )

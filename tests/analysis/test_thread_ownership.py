@@ -1,0 +1,158 @@
+"""thread-ownership: foreign threads must cross into the loop via wake()."""
+
+from __future__ import annotations
+
+CHECK = "thread-ownership"
+
+
+class TestSeededViolations:
+    def test_thread_target_reaching_loop_only_is_caught(self, findings_of):
+        findings = findings_of(
+            """
+            from repro.analysis.annotations import loop_only
+
+            @loop_only
+            def dispatch(value):
+                pass
+
+            def worker_main():
+                dispatch(1)  # bug: loop-owned code from a foreign thread
+
+            def start():
+                Thread(target=worker_main).start()
+            """,
+            CHECK,
+        )
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.checker == CHECK
+        assert "'dispatch'" in finding.message
+        assert "'worker_main'" in finding.message
+        assert "call path: worker_main -> dispatch" in finding.detail
+
+    def test_done_callback_reaching_loop_only_is_caught(self, findings_of):
+        findings = findings_of(
+            """
+            from repro.analysis.annotations import loop_only
+
+            @loop_only
+            def on_result(future):
+                pass
+
+            def install(future):
+                future.add_done_callback(on_result)
+            """,
+            CHECK,
+        )
+        assert len(findings) == 1
+        assert "executor done-callback" in findings[0].message
+
+    def test_any_thread_function_calling_loop_only_is_caught(self, findings_of):
+        # @any_thread declares thread-safety; calling loop-owned code
+        # directly from it breaks the declaration.
+        findings = findings_of(
+            """
+            from repro.analysis.annotations import any_thread, loop_only
+
+            @loop_only
+            def mutate_state():
+                pass
+
+            @any_thread
+            def push(value):
+                mutate_state()
+            """,
+            CHECK,
+        )
+        assert len(findings) == 1
+        assert "declared @any_thread" in findings[0].message
+
+    def test_transitive_path_is_reported_with_the_chain(self, findings_of):
+        findings = findings_of(
+            """
+            from repro.analysis.annotations import loop_only
+
+            @loop_only
+            def dispatch():
+                pass
+
+            def helper():
+                dispatch()
+
+            def worker_main():
+                helper()
+
+            def start():
+                Thread(target=worker_main).start()
+            """,
+            CHECK,
+        )
+        assert len(findings) == 1
+        assert "worker_main -> helper -> dispatch" in findings[0].detail
+
+
+class TestCleanExemplars:
+    def test_crossing_through_wake_is_sanctioned(self, findings_of):
+        assert not findings_of(
+            """
+            from repro.analysis.annotations import loop_only
+
+            @loop_only
+            def dispatch():
+                pass
+
+            def worker_main(scheduler):
+                scheduler.wake()  # the sanctioned hand-off
+
+            def start(scheduler):
+                Thread(target=worker_main).start()
+            """,
+            CHECK,
+        )
+
+    def test_call_soon_threadsafe_is_sanctioned(self, findings_of):
+        assert not findings_of(
+            """
+            from repro.analysis.annotations import loop_only
+
+            @loop_only
+            def dispatch():
+                pass
+
+            def worker_main(loop):
+                loop.call_soon_threadsafe(dispatch)
+
+            def start(loop):
+                Thread(target=worker_main).start()
+            """,
+            CHECK,
+        )
+
+    def test_loop_only_called_from_loop_code_is_clean(self, findings_of):
+        # No thread entry point in sight: nothing to flag.
+        assert not findings_of(
+            """
+            from repro.analysis.annotations import loop_only
+
+            @loop_only
+            def dispatch():
+                pass
+
+            @loop_only
+            def dispatch_round():
+                dispatch()
+            """,
+            CHECK,
+        )
+
+    def test_real_tree_has_no_findings(self):
+        # The annotated production tree (sched, pullstream, pool) obeys
+        # its own ownership rule.
+        from pathlib import Path
+
+        from repro.analysis.runner import analyze_paths, run_checkers
+
+        tree = Path(__file__).resolve().parents[2] / "src" / "repro"
+        modules = analyze_paths([str(tree)])
+        result = run_checkers(modules, checks=[CHECK])
+        assert result.findings == []

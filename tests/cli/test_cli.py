@@ -48,7 +48,7 @@ class TestMainWithBuiltinApps:
 
     def test_arxiv_app(self, capsys):
         assert main(["--app", "arxiv", "--count", "4"]) == 0
-        lines = [json.loads(l) for l in capsys.readouterr().out.strip().splitlines()]
+        lines = [json.loads(line) for line in capsys.readouterr().out.strip().splitlines()]
         assert len(lines) == 4
         assert all("interesting" in line for line in lines)
 
@@ -56,7 +56,7 @@ class TestMainWithBuiltinApps:
         module = tmp_path / "double.py"
         module.write_text("def pando(value, cb):\n    cb(None, int(value) * 2)\n")
         assert main([str(module), "4", "5"]) == 0
-        lines = [json.loads(l) for l in capsys.readouterr().out.strip().splitlines()]
+        lines = [json.loads(line) for line in capsys.readouterr().out.strip().splitlines()]
         assert lines == [8, 10]
 
     def test_stdin_json_input(self, monkeypatch, capsys, tmp_path):
@@ -64,13 +64,13 @@ class TestMainWithBuiltinApps:
         module.write_text("def pando(value, cb):\n    cb(None, value + 1)\n")
         monkeypatch.setattr("sys.stdin", io.StringIO("1\n2\n3\n"))
         assert main([str(module), "--stdin", "--json"]) == 0
-        lines = [json.loads(l) for l in capsys.readouterr().out.strip().splitlines()]
+        lines = [json.loads(line) for line in capsys.readouterr().out.strip().splitlines()]
         assert lines == [2, 3, 4]
 
     def test_simulated_lan_run(self, capsys):
         assert main(["--app", "raytrace", "--simulate", "lan", "--count", "4"]) == 0
         captured = capsys.readouterr()
-        lines = [json.loads(l) for l in captured.out.strip().splitlines()]
+        lines = [json.loads(line) for line in captured.out.strip().splitlines()]
         assert len(lines) == 4
         assert "Simulating a LAN deployment" in captured.err
 
@@ -83,7 +83,7 @@ class TestCompanionTools:
 
     def test_generate_angles_json(self, capsys):
         assert generate_angles_main(["--frames", "2", "--json"]) == 0
-        lines = [json.loads(l) for l in capsys.readouterr().out.strip().splitlines()]
+        lines = [json.loads(line) for line in capsys.readouterr().out.strip().splitlines()]
         assert lines[0] == {"angle": 0.0, "frame": 0}
 
     def test_gif_encoder_roundtrip(self, monkeypatch, capsys, tmp_path):

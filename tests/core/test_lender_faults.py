@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.core import StreamLender
-from repro.errors import WorkerCrashed
 from repro.pullstream import DONE, collect, pull, values
 
 

@@ -6,10 +6,8 @@ import pytest
 
 from repro.core import Limiter, limit
 from repro.pullstream import (
-    DONE,
     async_map,
     collect,
-    count,
     drain,
     duplex_pair,
     pull,

@@ -6,10 +6,9 @@ serves as the reproduction artefact for experiment T1 (see DESIGN.md).
 
 from __future__ import annotations
 
-import pytest
 
 from repro import DistributedMap
-from repro.core import StreamLender, UnorderedStreamLender
+from repro.core import StreamLender
 from repro.pullstream import collect, from_iterable, pull, take, values
 
 

@@ -6,8 +6,8 @@ from __future__ import annotations
 import pytest
 
 from repro.core import DistributedMap, ShardedLender
-from repro.errors import PandoError, WorkerCrashed
-from repro.pullstream import collect, pull, pushable, values
+from repro.errors import PandoError
+from repro.pullstream import collect, pull, values
 
 
 def lend(lender, **kwargs):

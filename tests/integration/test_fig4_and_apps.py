@@ -3,7 +3,6 @@ application pipelines (Figure 10) and the crypto feedback loop (Figure 11)."""
 
 from __future__ import annotations
 
-import pytest
 
 from repro import DistributedMap, bundle_function, collect, drain, from_iterable, pull, values
 from repro.apps import (
@@ -68,16 +67,21 @@ class TestPipelineApplications:
 
     def test_collatz_pipeline_with_max_postprocessing(self):
         app = CollatzApplication(offset=0, batch=20)
-        dmap = DistributedMap(batch_size=2)
+        dmap = DistributedMap(batch_size=2, debug=True)
         output = pull(values(list(app.generate_inputs(5))), dmap, collect())
         for _ in range(2):
             dmap.add_local_worker(bundle_function(app.process).apply)
         best = app.postprocess(output.result())
         assert best["steps"] > 0
+        # debug mode installed one ProtocolChecker per worker and every
+        # sub-stream obeyed the pull-stream protocol (no raise) while
+        # actually carrying traffic
+        assert len(dmap.protocol_checkers) == 2
+        assert all(checker.trace for checker in dmap.protocol_checkers)
 
     def test_raytrace_pipeline_produces_ordered_animation(self):
         app = RaytraceApplication(frames=6, width=8, height=6)
-        dmap = DistributedMap(batch_size=2)
+        dmap = DistributedMap(batch_size=2, debug=True)
         output = pull(values(list(app.generate_inputs(6))), dmap, collect())
         for _ in range(3):
             dmap.add_local_worker(app.process)
@@ -87,7 +91,7 @@ class TestPipelineApplications:
     def test_image_processing_pipeline_uploads_results(self):
         store = ImageStore()
         app = ImageProcessingApplication(store=store)
-        dmap = DistributedMap()
+        dmap = DistributedMap(debug=True)
         output = pull(values(list(app.generate_inputs(8))), dmap, collect())
         dmap.add_local_worker(app.process)
         assert len(output.result()) == 8
@@ -95,7 +99,7 @@ class TestPipelineApplications:
 
     def test_ml_agent_pipeline_selects_learning_rate(self):
         app = MLAgentApplication(steps_per_value=300)
-        dmap = DistributedMap()
+        dmap = DistributedMap(debug=True)
         output = pull(values(list(app.generate_inputs(4))), dmap, collect())
         dmap.add_local_worker(app.process)
         best = app.postprocess(output.result())
@@ -108,7 +112,7 @@ class TestSynchronousParallelSearch:
     def test_chain_is_mined_through_the_feedback_loop(self):
         app = CryptoMiningApplication(difficulty_bits=8, range_size=300)
         monitor = MiningMonitor(app, target_height=2)
-        dmap = DistributedMap(ordered=False, batch_size=1)
+        dmap = DistributedMap(ordered=False, batch_size=1, debug=True)
         output = pull(
             from_iterable(monitor.attempts()),
             dmap,
@@ -126,7 +130,7 @@ class TestSynchronousParallelSearch:
     def test_lazy_generation_stops_after_target(self):
         app = CryptoMiningApplication(difficulty_bits=6, range_size=300)
         monitor = MiningMonitor(app, target_height=1)
-        dmap = DistributedMap(ordered=False)
+        dmap = DistributedMap(ordered=False, debug=True)
         pull(from_iterable(monitor.attempts()), dmap, drain(op=monitor.record_result))
         dmap.add_local_worker(app.process)
         assert monitor.done

@@ -4,8 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.apps import CollatzApplication, RaytraceApplication, registry
-from repro.devices import LAN_DEVICES, VPN_DEVICES, WAN_DEVICES, device_by_name
+from repro.apps import CollatzApplication, RaytraceApplication
+from repro.devices import LAN_DEVICES, VPN_DEVICES, WAN_DEVICES
 from repro.errors import DeploymentError
 from repro.sim.failures import FailureSchedule
 from repro.sim.scenario import (

@@ -2,14 +2,12 @@
 
 from __future__ import annotations
 
-import os
 import textwrap
 
 import pytest
 
 from repro.errors import BundlingError, DeploymentError
 from repro.master import (
-    Bundle,
     MasterConfig,
     PandoMaster,
     VolunteerRegistry,

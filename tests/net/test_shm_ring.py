@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.errors import PandoError
-from repro.net.serialization import OOB_MIN_BYTES, oob_pack, oob_unpack
+from repro.net.serialization import oob_pack, oob_unpack
 from repro.net.shm_ring import (
     ShmRing,
     load_entry,
@@ -112,6 +112,26 @@ class TestShmRing:
             ring.release(slot)
             with pytest.raises(PandoError):
                 ring.release(slot)
+
+    def test_release_all_survives_a_failing_release_mid_sequence(self):
+        # Regression: a double release in the middle of the batch used to
+        # abort the loop, leaking every slot after it until close().  Now
+        # every release is attempted and the first error re-raised.
+        with ShmRing(slot_count=4, slot_size=8) as ring:
+            slots = [ring.acquire() for _ in range(4)]
+            ring.release(slots[1])  # make slots[1] a double release below
+            with pytest.raises(PandoError, match="double release"):
+                ring.release_all(slots)
+            # the three healthy slots were still released
+            assert ring.in_use == 0
+            assert ring.free_slots == 4
+
+    def test_release_all_reports_the_first_of_several_errors(self):
+        with ShmRing(slot_count=3, slot_size=8) as ring:
+            held = ring.acquire()
+            with pytest.raises(PandoError, match="slot 1 is not acquired"):
+                ring.release_all([1, 2, held])
+            assert ring.in_use == 0  # the held slot still came back
 
     def test_write_and_view(self):
         with ShmRing(slot_count=2, slot_size=16) as ring:

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.errors import NATTraversalError, SignallingError
 from repro.net.nat import NATConfig, NATModel

@@ -2,10 +2,8 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.pullstream import (
-    DONE,
     Pushable,
     async_map,
     cat,

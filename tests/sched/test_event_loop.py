@@ -10,7 +10,7 @@ import pytest
 from repro.core.distributed_map import DistributedMap
 from repro.errors import PandoError
 from repro.pullstream import collect, drain, find, pull, values
-from repro.sched import EventLoopScheduler, PushablePort
+from repro.sched import EventLoopScheduler
 from repro.sim.clock import VirtualClock
 from repro.sim.scheduler import Scheduler
 

@@ -16,7 +16,6 @@ from repro.sim.network import (
     WAN_PROFILE,
     profile_for_setting,
 )
-from repro.sim.scheduler import Scheduler
 
 
 class TestVirtualClock:

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.devices import SimDevice, device_by_name
 from repro.master.bundler import bundle_function

@@ -15,4 +15,5 @@ python -m pytest \
     benchmarks/bench_unordered_scaling.py \
     benchmarks/bench_event_loop.py \
     benchmarks/bench_shm_transport.py \
+    benchmarks/bench_ws_transport.py \
     -q --benchmark-disable "$@"

@@ -269,6 +269,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from ..analysis.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "volunteer":
+        # ``pando volunteer ws://host:port`` joins a live master as a real
+        # websocket volunteer; it has its own option set
+        from ..worker.volunteer import main as volunteer_main
+
+        return volunteer_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     stderr = sys.stderr

@@ -155,6 +155,7 @@ class DistributedMap:
         self.protocol_checkers: List[ProtocolChecker] = []
         self._workers: Dict[str, WorkerHandle] = {}
         self._pools: List[Any] = []
+        self._gateways: List[Any] = []
         self._counter = 0
 
     # ------------------------------------------------------------------ API
@@ -301,6 +302,37 @@ class DistributedMap:
         self._workers[worker_id] = handle
         self._pools.append(pool)
         return handle
+
+    def serve_volunteers(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        fn_ref: Any = None,
+        **options: Any,
+    ) -> Any:
+        """Serve a real websocket gateway so external volunteers can join.
+
+        Binds a :class:`~repro.net.ws_transport.WsVolunteerGateway` on
+        *host*:*port* (0 picks a free port) and registers it with the map's
+        event-loop scheduler — so this map must have one
+        (``scheduler="asyncio"`` or an explicit instance).  Every process
+        that runs ``pando volunteer <gateway.url>`` (or
+        :func:`~repro.worker.volunteer.run_volunteer`) while :meth:`drive`
+        spins becomes an ordinary channel worker: *fn_ref* travels to it in
+        the welcome frame, a heartbeat monitor guards its liveness, and a
+        volunteer that vanishes mid-frame fails its sub-stream so the lender
+        re-lends its borrowed values.  Remaining *options* are forwarded to
+        the gateway constructor (heartbeat timing, frame batching, ...).
+
+        Returns the started gateway; its ``url`` is the address to hand out.
+        :meth:`close` stops it.
+        """
+        from ..net.ws_transport import WsVolunteerGateway
+
+        gateway = WsVolunteerGateway(self, host=host, port=port, fn_ref=fn_ref, **options)
+        gateway.start()
+        self._gateways.append(gateway)
+        return gateway
 
     # ------------------------------------------------------------ internals
     def _claim_worker_id(self, worker_id: Optional[str]) -> str:
@@ -476,10 +508,13 @@ class DistributedMap:
         return self.lender.ended
 
     def close(self) -> None:
-        """Release every attached process pool — and the event-loop
-        scheduler, when the map created it (``scheduler="asyncio"``); a
-        shared scheduler instance passed in by the caller is left running.
-        Idempotent."""
+        """Release every attached gateway and process pool — and the event
+        -loop scheduler, when the map created it (``scheduler="asyncio"``);
+        a shared scheduler instance passed in by the caller is left running.
+        Gateways go first: their teardown needs the scheduler's loop to
+        close volunteer connections cleanly.  Idempotent."""
+        for gateway in self._gateways:
+            gateway.stop()
         for pool in self._pools:
             pool.close()
         if self._owns_scheduler and self.scheduler is not None:

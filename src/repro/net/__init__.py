@@ -1,9 +1,13 @@
-"""Simulated network substrate: channels, transports, signalling, NAT.
+"""Network substrate: simulated channels, transports, signalling, NAT — and
+one real wire.
 
-These modules replace the browser WebSocket/WebRTC stacks of the original
-Pando with in-process equivalents that preserve the properties Pando relies
-on — ordered duplex delivery, heartbeat-based failure detection, connection
-setup cost, latency and bandwidth (see DESIGN.md, substitution table).
+Most of these modules replace the browser WebSocket/WebRTC stacks of the
+original Pando with in-process equivalents that preserve the properties
+Pando relies on — ordered duplex delivery, heartbeat-based failure
+detection, connection setup cost, latency and bandwidth (see DESIGN.md,
+substitution table).  :mod:`~repro.net.ws_transport` is the exception: an
+actual asyncio websocket server and client, so external volunteer processes
+join a live master over TCP.
 """
 
 from .serialization import (
@@ -24,6 +28,14 @@ from .websocket import WebSocketConnection
 from .webrtc import WebRTCConnection
 from .signaling import Deployment, PublicServer
 from .nat import NATConfig, NATModel
+from .ws_transport import (
+    LoopClock,
+    WsConnection,
+    WsVolunteerGateway,
+    connect_websocket,
+    pack_wire_frame,
+    unpack_wire_frame,
+)
 
 __all__ = [
     "SizedPayload",
@@ -51,4 +63,10 @@ __all__ = [
     "PublicServer",
     "NATConfig",
     "NATModel",
+    "LoopClock",
+    "WsConnection",
+    "WsVolunteerGateway",
+    "connect_websocket",
+    "pack_wire_frame",
+    "unpack_wire_frame",
 ]

@@ -5,14 +5,16 @@ crash-stop failures under partial synchrony (paper section 2.3): if no
 message or heartbeat is received from the peer within a time bound, the
 connection is declared dead and the values lent to that worker are
 re-submitted elsewhere.  :class:`HeartbeatMonitor` implements both sides of
-this mechanism on top of the discrete-event scheduler.
+this mechanism on top of any scheduler exposing ``now`` and
+``call_later(delay, fn)`` — the discrete-event simulator for the simulated
+channels, or the real-clock :class:`~repro.net.ws_transport.LoopClock`
+facade over an asyncio loop for the live websocket transport (ping/pong on
+the socket).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
-
-from ..sim.scheduler import ScheduledEvent, Scheduler
+from typing import Any, Callable, Optional
 
 __all__ = ["HeartbeatMonitor", "DEFAULT_INTERVAL", "DEFAULT_TIMEOUT"]
 
@@ -28,7 +30,10 @@ class HeartbeatMonitor:
     Parameters
     ----------
     scheduler:
-        The simulation scheduler.
+        Any clock-and-timers provider: ``now`` (seconds) plus
+        ``call_later(delay, fn)`` returning a cancellable handle — the
+        simulation :class:`~repro.sim.scheduler.Scheduler` or a real-clock
+        :class:`~repro.net.ws_transport.LoopClock`.
     send:
         Called every *interval* seconds to emit a heartbeat frame to the peer.
     on_failure:
@@ -39,7 +44,7 @@ class HeartbeatMonitor:
 
     def __init__(
         self,
-        scheduler: Scheduler,
+        scheduler: Any,
         send: Callable[[], None],
         on_failure: Callable[[], None],
         interval: float = DEFAULT_INTERVAL,
@@ -55,12 +60,23 @@ class HeartbeatMonitor:
         self._last_seen = scheduler.now
         self._stopped = False
         self._failed = False
-        self._send_event: Optional[ScheduledEvent] = None
-        self._check_event: Optional[ScheduledEvent] = None
+        #: cancellable timer handles (sim ScheduledEvent or asyncio TimerHandle)
+        self._send_event: Optional[Any] = None
+        self._check_event: Optional[Any] = None
 
     # ------------------------------------------------------------------ API
     def start(self) -> None:
-        """Begin emitting heartbeats and checking for peer silence."""
+        """Begin (or restart) emitting heartbeats and checking for silence.
+
+        Safe to call again on an already-running monitor — the reconnect
+        path: the previous send/check timer chains are cancelled instead of
+        stacking duplicates.  A monitor that was :meth:`stop`-ed, or that
+        already suspected its peer, starts afresh (``failed`` resets), so one
+        monitor instance can follow a connection through reconnections.
+        """
+        self._cancel_events()
+        self._stopped = False
+        self._failed = False
         self._last_seen = self.scheduler.now
         self._schedule_send()
         self._schedule_check()
@@ -68,10 +84,15 @@ class HeartbeatMonitor:
     def stop(self) -> None:
         """Stop all timers (connection closed gracefully)."""
         self._stopped = True
+        self._cancel_events()
+
+    def _cancel_events(self) -> None:
         if self._send_event is not None:
             self._send_event.cancel()
+            self._send_event = None
         if self._check_event is not None:
             self._check_event.cancel()
+            self._check_event = None
 
     def touch(self) -> None:
         """Record that the peer was heard from (any frame counts)."""

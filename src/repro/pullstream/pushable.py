@@ -78,6 +78,12 @@ class Pushable:
             self._buffer.clear()
             if self._ended is None:
                 self._ended = end if isinstance(end, BaseException) else DONE
+            if self._waiting is not None:
+                # A read parked before the abort (waiting for the producer)
+                # must still receive its answer — callback discipline: every
+                # ask gets exactly one reply, and the abort is that reply.
+                waiting, self._waiting = self._waiting, None
+                waiting(self._ended, None)
             cb(self._ended, None)
             self._notify_close(self._ended)
             return

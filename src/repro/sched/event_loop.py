@@ -86,6 +86,20 @@ class EventLoopScheduler:
         self._sources.append(source)
         return source
 
+    def unregister(self, source: EventSource) -> bool:
+        """Remove *source* from the round-robin order (False when absent).
+
+        Safe to call from a dispatch: the round in progress iterates a
+        snapshot, so removal takes effect from the next round.  Used by the
+        websocket gateway to retire the ports of departed volunteers instead
+        of letting dead sources accumulate across churn.
+        """
+        try:
+            self._sources.remove(source)
+            return True
+        except ValueError:
+            return False
+
     def register_pool(self, pool: Any) -> PoolEventSource:
         """Register a non-blocking :class:`ProcessPoolWorker` for delivery."""
         source = PoolEventSource(self, pool)
@@ -135,14 +149,18 @@ class EventLoopScheduler:
         property the hypothesis suite pins down.  Returns the number of
         sources that made progress.
         """
-        count = len(self._sources)
+        # Snapshot: a dispatch may register (a volunteer joining) or
+        # unregister (a departed port reaped) sources mid-round; the round in
+        # progress keeps iterating the membership it started with.
+        sources = list(self._sources)
+        count = len(sources)
         if count == 0:
             return 0
         start = self._cursor % count
         self._cursor += 1
         dispatched = 0
         for offset in range(count):
-            source = self._sources[(start + offset) % count]
+            source = sources[(start + offset) % count]
             if source.ready() and source.dispatch():
                 dispatched += 1
                 self.dispatches += 1
@@ -255,6 +273,22 @@ class EventLoopScheduler:
                 self._timer.cancel()
                 self._timer = None
             self._wake_event = None
+
+    def run_coroutine(self, coro: Any) -> Any:
+        """Run *coro* to completion on the scheduler's private loop.
+
+        For setup/teardown work that needs the loop but happens between
+        runs — binding a websocket server before :meth:`run` spins, closing
+        its connections after.  Not available while :meth:`run` is spinning
+        (the loop is already busy then; use tasks or sources instead).
+        """
+        if self._running:
+            coro.close()
+            raise PandoError(
+                "run_coroutine is not available while run() is spinning; "
+                "schedule a task on the loop instead"
+            )
+        return self._ensure_loop().run_until_complete(coro)
 
     def _ensure_loop(self) -> asyncio.AbstractEventLoop:
         if self._closed:

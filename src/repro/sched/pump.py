@@ -81,7 +81,10 @@ async def async_pump(
 
     try:
         while not all(sink.done for sink in sinks):
-            if deadline is not None and time.monotonic() > deadline:
+            # ``>=`` so a deadline of "now" fires on the round that reaches
+            # it: with a strict ``>`` (and a coarse monotonic clock),
+            # ``timeout=0`` could never fire on the first round.
+            if deadline is not None and time.monotonic() >= deadline:
                 raise PandoError("EventLoopScheduler.run timed out")
             fan_out_cancellation()
             if scheduler.dispatch_round() > 0:

@@ -1,6 +1,17 @@
-"""Volunteer-side components: browser tabs and volunteers."""
+"""Volunteer-side components: browser tabs, simulated and real volunteers."""
 
 from .worker import BrowserTab
-from .volunteer import SimVolunteer
+from .volunteer import (
+    SimVolunteer,
+    VolunteerReport,
+    run_volunteer,
+    spawn_volunteer_process,
+)
 
-__all__ = ["BrowserTab", "SimVolunteer"]
+__all__ = [
+    "BrowserTab",
+    "SimVolunteer",
+    "VolunteerReport",
+    "run_volunteer",
+    "spawn_volunteer_process",
+]

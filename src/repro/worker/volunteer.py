@@ -1,27 +1,68 @@
-"""Volunteers: devices that contribute browser tabs to a deployment.
+"""Volunteers: devices that contribute compute to a deployment.
 
-A :class:`SimVolunteer` owns a simulated device and opens one browser tab per
-core it contributes (the paper uses "the minimum number of cores that
-provided close to the maximum performance", listed in Table 2).  Joining a
-deployment mirrors the paper's workflow: open the URL, download the worker
-code, establish a WebSocket or WebRTC channel per tab, process values until
-the stream ends, the device crashes, or the volunteer leaves.
+Two kinds live here:
+
+* :class:`SimVolunteer` owns a simulated device and opens one browser tab
+  per core it contributes (the paper uses "the minimum number of cores that
+  provided close to the maximum performance", listed in Table 2).  Joining a
+  deployment mirrors the paper's workflow: open the URL, download the worker
+  code, establish a WebSocket or WebRTC channel per tab, process values
+  until the stream ends, the device crashes, or the volunteer leaves.
+* :func:`run_volunteer` is the **real** volunteer: an external OS process
+  that dials a master's :class:`~repro.net.ws_transport.WsVolunteerGateway`
+  URL over an actual websocket, downloads the function reference from the
+  welcome frame (the paper's "volunteers download the code from the
+  master"), and processes DATA frames on a small thread pool — one thread
+  per "tab" — until the master says END, the process is told to stop, or
+  the wire dies.  ``pando volunteer ws://host:port`` (see :func:`main`)
+  wraps it for the command line.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import argparse
+import asyncio
+import multiprocessing
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import suppress
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
 
+from ..analysis.annotations import any_thread
 from ..devices.device import SimDevice
 from ..devices.profiles import DeviceProfile
+from ..errors import ConnectionClosed, PandoError, ProtocolError
 from ..master.bundler import Bundle
 from ..net.channel import ChannelEndpoint
+from ..net.heartbeat import DEFAULT_INTERVAL, DEFAULT_TIMEOUT, HeartbeatMonitor
 from ..net.signaling import PublicServer
+from ..net.ws_transport import (
+    BYE,
+    DATA,
+    END,
+    HELLO,
+    RESULT,
+    TASK_ERROR,
+    WELCOME,
+    WIRE_VERSION,
+    LoopClock,
+    connect_websocket,
+    pack_wire_frame,
+    unpack_wire_frame,
+)
+from ..pool.tasks import resolve_callable, run_batch
 from ..sim.metrics import MetricsCollector
 from ..sim.scheduler import Scheduler
 from .worker import BrowserTab
 
-__all__ = ["SimVolunteer"]
+__all__ = [
+    "SimVolunteer",
+    "VolunteerReport",
+    "run_volunteer",
+    "spawn_volunteer_process",
+    "main",
+]
 
 
 class SimVolunteer:
@@ -109,3 +150,306 @@ class SimVolunteer:
             f"<SimVolunteer {self.profile.name} {state} tabs={len(self.tabs)} "
             f"processed={self.items_processed}>"
         )
+
+
+# ==========================================================================
+# Real websocket volunteers
+# ==========================================================================
+
+
+@dataclass
+class VolunteerReport:
+    """What one :func:`run_volunteer` session accomplished."""
+
+    worker_id: Optional[str] = None
+    frames_processed: int = 0
+    values_processed: int = 0
+    #: True when the session ended with the bye handshake (END received or
+    #: *max_frames* reached), False when the wire died or a task failed
+    graceful: bool = False
+    #: True when the volunteer's own heartbeat monitor suspected the master
+    suspected_master: bool = False
+    error: Optional[str] = None
+    pings_received: int = 0
+    pongs_received: int = 0
+
+
+@any_thread
+def run_volunteer(
+    url: str,
+    fn_ref: Any = None,
+    name: Optional[str] = None,
+    tabs: int = 1,
+    max_frames: Optional[int] = None,
+    connect_timeout: float = 10.0,
+) -> VolunteerReport:
+    """Join the master at *url* (``ws://host:port``) and process values.
+
+    The session follows the paper's volunteer workflow over a real socket:
+    hello (name + tab count) → welcome (worker id, function reference,
+    heartbeat parameters) → DATA frames in, RESULT frames out — computed on
+    a pool of *tabs* threads so several frames overlap, answered strictly
+    in arrival order (the contract of the master's Limiter) — until the
+    master sends END (or *max_frames* frames were answered, the
+    leave-early case), then bye and a clean close.  *fn_ref* overrides the
+    master-supplied function reference — any form
+    :func:`~repro.pool.tasks.resolve_callable` accepts; at least one side
+    must provide one.  Liveness is symmetric: the volunteer answers the
+    master's pings automatically and runs its own
+    :class:`~repro.net.heartbeat.HeartbeatMonitor`, abandoning a master
+    that has gone silent (``suspected_master`` in the returned report).
+
+    Blocks until the session ends (it owns the process — use
+    :func:`spawn_volunteer_process` to run one in a child process) and
+    never raises on wire or task trouble: the report's ``error`` carries it.
+    """
+    return asyncio.run(
+        _volunteer_session(
+            url,
+            fn_ref=fn_ref,
+            name=name,
+            tabs=max(1, tabs),
+            max_frames=max_frames,
+            connect_timeout=connect_timeout,
+        )
+    )
+
+
+async def _volunteer_session(
+    url: str,
+    fn_ref: Any,
+    name: Optional[str],
+    tabs: int,
+    max_frames: Optional[int],
+    connect_timeout: float,
+) -> VolunteerReport:
+    loop = asyncio.get_running_loop()
+    report = VolunteerReport()
+    try:
+        conn = await connect_websocket(url, timeout=connect_timeout)
+    except Exception as exc:
+        report.error = f"connect failed: {exc!r}"
+        return report
+    monitor: Optional[HeartbeatMonitor] = None
+    try:
+        hello = {"kind": HELLO, "version": WIRE_VERSION, "name": name, "tabs": tabs}
+        conn.send_bytes(pack_wire_frame(hello))
+        await conn.drain()
+        payload = await asyncio.wait_for(conn.recv(), connect_timeout)
+        if payload is None:
+            raise ConnectionClosed("master closed the connection during the handshake")
+        welcome = unpack_wire_frame(payload)
+        if welcome.get("kind") != WELCOME:
+            raise ProtocolError(f"expected a welcome frame, got {welcome.get('kind')!r}")
+        report.worker_id = welcome.get("worker_id")
+        ref = fn_ref if fn_ref is not None else welcome.get("fn_ref")
+        if ref is None:
+            raise PandoError(
+                "the master supplied no function reference and none was given "
+                "locally (pass fn_ref= / --module / --app / --fn)"
+            )
+        resolve_callable(ref)  # fail during the handshake, not on frame one
+
+        def suspect_master() -> None:
+            report.suspected_master = True
+            conn.close_transport()
+
+        monitor = HeartbeatMonitor(
+            LoopClock(loop),
+            send=conn.send_ping,
+            on_failure=suspect_master,
+            interval=float(welcome.get("heartbeat_interval") or DEFAULT_INTERVAL),
+            timeout=float(welcome.get("heartbeat_timeout") or DEFAULT_TIMEOUT),
+        )
+        conn.on_traffic(monitor.touch)
+        monitor.start()
+
+        results: "asyncio.Queue[Optional[tuple]]" = asyncio.Queue()
+        end_received = False
+
+        async def send_results() -> None:
+            """Answer computed frames strictly in arrival order."""
+            while True:
+                item = await results.get()
+                if item is None:
+                    return
+                record, future = item
+                try:
+                    values = await future
+                except Exception as exc:
+                    report.error = f"task failed: {exc!r}"
+                    with suppress(Exception):
+                        conn.send_bytes(
+                            pack_wire_frame({"kind": TASK_ERROR, "message": repr(exc)})
+                        )
+                        await conn.drain()
+                    conn.close_transport()
+                    return
+                try:
+                    conn.send_bytes(
+                        pack_wire_frame(
+                            {
+                                "kind": RESULT,
+                                "seq": record.get("seq"),
+                                "batched": record.get("batched", False),
+                            },
+                            values,
+                        )
+                    )
+                    await conn.drain()
+                except Exception as exc:
+                    if report.error is None:
+                        report.error = f"send failed: {exc!r}"
+                    return
+                report.frames_processed += 1
+                report.values_processed += len(values)
+
+        with ThreadPoolExecutor(max_workers=tabs) as executor:
+            sender = asyncio.ensure_future(send_results())
+            submitted = 0
+            try:
+                while True:
+                    payload = await conn.recv()
+                    if payload is None:
+                        break
+                    record = unpack_wire_frame(payload)
+                    kind = record.get("kind")
+                    if kind == DATA:
+                        values = record.get("values", [])
+                        future = loop.run_in_executor(executor, run_batch, ref, values)
+                        await results.put((record, future))
+                        submitted += 1
+                        if max_frames is not None and submitted >= max_frames:
+                            break
+                    elif kind == END:
+                        end_received = True
+                        break
+                    # unknown kinds are ignored (forward compatibility)
+            finally:
+                await results.put(None)
+                await sender
+        monitor.stop()
+        if report.error is None and not report.suspected_master:
+            if end_received or max_frames is not None:
+                with suppress(Exception):
+                    conn.send_bytes(pack_wire_frame({"kind": BYE}))
+                    await conn.drain()
+                    conn.send_close()
+                    await conn.drain()
+                report.graceful = True
+            else:
+                report.error = "connection lost before the stream ended"
+    except Exception as exc:
+        if report.error is None:
+            report.error = repr(exc)
+    finally:
+        if monitor is not None:
+            monitor.stop()
+        report.pings_received = conn.pings_received
+        report.pongs_received = conn.pongs_received
+        conn.close_transport()
+    return report
+
+
+def _volunteer_process_main(url: str, kwargs: Dict[str, Any]) -> None:
+    report = run_volunteer(url, **kwargs)
+    # The exit status is the only channel the parent reliably sees.
+    if report.error is not None:
+        sys.exit(1)
+
+
+def spawn_volunteer_process(
+    url: str,
+    fn_ref: Any = None,
+    name: Optional[str] = None,
+    tabs: int = 1,
+    max_frames: Optional[int] = None,
+    start: bool = True,
+) -> multiprocessing.Process:
+    """Run one :func:`run_volunteer` session in a child OS process.
+
+    Uses the ``spawn`` start method, so the child imports this module fresh
+    — no forked locks or event loops — exactly like an external volunteer
+    started from the shell.  *fn_ref* must then be picklable (dotted-name
+    strings and ``("file", path)`` references are).  The returned process is
+    a daemon: it cannot outlive the test or bench that spawned it.
+    """
+    context = multiprocessing.get_context("spawn")
+    process = context.Process(
+        target=_volunteer_process_main,
+        args=(
+            url,
+            {"fn_ref": fn_ref, "name": name, "tabs": tabs, "max_frames": max_frames},
+        ),
+        daemon=True,
+    )
+    if start:
+        process.start()
+    return process
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``pando volunteer URL`` — join a live master from the command line."""
+    parser = argparse.ArgumentParser(
+        prog="pando volunteer",
+        description=(
+            "Join a running Pando master as a volunteer over a websocket "
+            "and process values until the stream ends."
+        ),
+    )
+    parser.add_argument("url", help="the master's gateway URL (ws://host:port)")
+    parser.add_argument(
+        "--module",
+        help="Pando module file supplying the processing function locally "
+        "(default: use the reference the master's welcome frame carries)",
+    )
+    parser.add_argument(
+        "--app", help="use a built-in application's function instead of a module"
+    )
+    parser.add_argument(
+        "--fn", help="dotted 'module:attribute' function reference"
+    )
+    parser.add_argument("--name", help="volunteer name announced to the master")
+    parser.add_argument(
+        "--tabs",
+        type=int,
+        default=1,
+        help="worker threads, the equivalent of the paper's browser tabs",
+    )
+    parser.add_argument(
+        "--max-frames",
+        type=int,
+        default=None,
+        dest="max_frames",
+        help="leave gracefully after answering this many frames",
+    )
+    args = parser.parse_args(argv)
+
+    fn_ref: Any = None
+    if args.module is not None:
+        import os
+
+        fn_ref = ("file", os.path.abspath(args.module))
+    elif args.app is not None:
+        from ..apps import registry as app_registry
+
+        fn_ref = app_registry.create(args.app).process
+    elif args.fn is not None:
+        fn_ref = args.fn
+
+    report = run_volunteer(
+        args.url,
+        fn_ref=fn_ref,
+        name=args.name,
+        tabs=args.tabs,
+        max_frames=args.max_frames,
+    )
+    sys.stderr.write(
+        f"volunteer {report.worker_id or '?'}: processed "
+        f"{report.values_processed} value(s) in {report.frames_processed} "
+        f"frame(s)\n"
+    )
+    if report.error is not None:
+        sys.stderr.write(f"volunteer error: {report.error}\n")
+        return 1
+    return 0

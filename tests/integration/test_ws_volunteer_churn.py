@@ -1,0 +1,148 @@
+"""Process-level volunteer churn over real websockets.
+
+External volunteer processes (``spawn_volunteer_process``) join a live
+:class:`~repro.net.ws_transport.WsVolunteerGateway` over loopback and are
+killed mid-frame — SIGKILL (socket dies, crash-stop detected on the wire)
+and SIGSTOP (socket stays open, only the heartbeat monitor can tell).  In
+every case the stream must complete exactly once: values borrowed by the
+dead volunteer are re-lent to the survivors, and on a sharded map a
+replacement volunteer is placed onto the depleted shard.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.core.distributed_map import DistributedMap
+from repro.pullstream import collect, from_iterable, pull
+from repro.worker import spawn_volunteer_process
+
+SLEEP_ECHO = "repro.pool.workloads:sleep_echo"
+
+
+def payloads(count, sleep=0.02):
+    return [{"sleep": sleep, "n": i} for i in range(count)]
+
+
+def kill_when_busy(dmap, worker_id, pid, sig=signal.SIGKILL, timeout=30.0):
+    """Start a thread that signals *pid* once *worker_id* has work in flight.
+
+    Returns an event that is set once the signal was delivered mid-frame.
+    """
+    fired = threading.Event()
+
+    def watch():
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            handle = dmap.workers.get(worker_id)
+            if handle is not None and handle.in_flight > 0:
+                os.kill(pid, sig)
+                fired.set()
+                return
+            time.sleep(0.01)
+
+    threading.Thread(target=watch, daemon=True).start()
+    return fired
+
+
+class TestSigkillChurn:
+    def test_ordered_stream_survives_a_sigkill_mid_frame(self):
+        inputs = payloads(40)
+        dmap = DistributedMap(scheduler="asyncio", batch_size=2)
+        sink = pull(from_iterable(inputs), dmap, collect())
+        gateway = dmap.serve_volunteers(fn_ref=SLEEP_ECHO)
+        victim = spawn_volunteer_process(gateway.url, name="victim")
+        others = [
+            spawn_volunteer_process(gateway.url, name=f"vol-{i}") for i in range(2)
+        ]
+        killed = kill_when_busy(dmap, "victim", victim.pid)
+        try:
+            dmap.drive(sink, timeout=90)
+            result = sink.result()
+        finally:
+            dmap.close()
+            victim.join(10)
+            for proc in others:
+                proc.join(10)
+        assert killed.is_set(), "victim was never caught with work in flight"
+        # Exactly once, in order — re-lent values keep their slots.
+        assert [value["n"] for value in result] == list(range(40))
+        assert gateway.volunteers_joined == 3
+        assert gateway.volunteers_crashed == 1
+        assert gateway.volunteers_left == 2
+        assert gateway.suspicions == 0  # the wire died; no heartbeat verdict
+        assert gateway.registry.crashes == 1
+
+    def test_sharded_unordered_with_replacement_volunteer(self):
+        # Two shards, one volunteer each.  Kill one mid-frame, then send a
+        # fresh volunteer: placement rebalancing must put it on the depleted
+        # shard so both shards finish, exactly once.
+        inputs = payloads(40)
+        dmap = DistributedMap(
+            scheduler="asyncio", batch_size=2, shards=2, ordered=False
+        )
+        sink = pull(from_iterable(inputs), dmap, collect())
+        gateway = dmap.serve_volunteers(fn_ref=SLEEP_ECHO)
+        victim = spawn_volunteer_process(gateway.url, name="victim")
+        survivor = spawn_volunteer_process(gateway.url, name="survivor")
+        killed = kill_when_busy(dmap, "victim", victim.pid)
+        replacement_box = {}
+
+        def send_replacement():
+            if killed.wait(30):
+                replacement_box["proc"] = spawn_volunteer_process(
+                    gateway.url, name="replacement"
+                )
+
+        threading.Thread(target=send_replacement, daemon=True).start()
+        try:
+            dmap.drive(sink, timeout=90)
+            result = sink.result()
+        finally:
+            dmap.close()
+            victim.join(10)
+            survivor.join(10)
+            replacement = replacement_box.get("proc")
+            if replacement is not None:
+                replacement.join(10)
+        assert killed.is_set(), "victim was never caught with work in flight"
+        assert sorted(value["n"] for value in result) == list(range(40))
+        assert gateway.volunteers_joined == 3
+        assert gateway.volunteers_crashed == 1
+        shards = {handle.shard for handle in dmap.workers.values()}
+        assert shards == {0, 1}  # the replacement landed on the empty shard
+        victim_shard = dmap.workers["victim"].shard
+        assert dmap.workers["replacement"].shard == victim_shard
+
+
+class TestSigstopSuspicion:
+    def test_heartbeat_suspects_a_stalled_volunteer(self):
+        # SIGSTOP leaves the socket open: only the heartbeat can notice.
+        inputs = payloads(30)
+        dmap = DistributedMap(scheduler="asyncio", batch_size=2)
+        sink = pull(from_iterable(inputs), dmap, collect())
+        gateway = dmap.serve_volunteers(
+            fn_ref=SLEEP_ECHO, heartbeat_interval=0.2, heartbeat_timeout=1.0
+        )
+        victim = spawn_volunteer_process(gateway.url, name="victim")
+        survivor = spawn_volunteer_process(gateway.url, name="survivor")
+        stopped = kill_when_busy(dmap, "victim", victim.pid, sig=signal.SIGSTOP)
+        try:
+            dmap.drive(sink, timeout=90)
+            result = sink.result()
+        finally:
+            dmap.close()
+            if stopped.is_set():
+                os.kill(victim.pid, signal.SIGKILL)
+            victim.join(10)
+            survivor.join(10)
+        assert stopped.is_set(), "victim was never caught with work in flight"
+        assert [value["n"] for value in result] == list(range(30))
+        assert gateway.suspicions == 1
+        assert gateway.volunteers_crashed == 1
+        assert gateway.volunteers_joined == 2

@@ -1,0 +1,89 @@
+"""Regression tests for HeartbeatMonitor start/stop lifecycle.
+
+``start()`` on an already-running monitor used to stack a second timer
+chain (double heartbeats forever), and ``start()`` after ``stop()`` was a
+silent no-op because the stopped flag was never reset — so one monitor
+could not follow a connection through a reconnect.  Both are pinned here on
+the virtual-time scheduler.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+class TestHeartbeatRestart:
+    def make(self, scheduler, beats, failures, interval=1.0, timeout=3.0):
+        from repro.net.heartbeat import HeartbeatMonitor
+
+        return HeartbeatMonitor(
+            scheduler,
+            send=lambda: beats.append(scheduler.now),
+            on_failure=lambda: failures.append(scheduler.now),
+            interval=interval,
+            timeout=timeout,
+        )
+
+    def test_double_start_does_not_stack_timer_chains(self, scheduler):
+        beats, failures = [], []
+        monitor = self.make(scheduler, beats, failures, timeout=100.0)
+        monitor.start()
+        scheduler.run_until(2.5)
+        assert len(beats) == 2  # t=1, t=2
+        monitor.start()  # reconnect: restart, do not duplicate
+        scheduler.run_until(5.6)
+        # One chain only: beats at 3.5, 4.5, 5.5 — a duplicated chain would
+        # also keep beating at 3, 4, 5.
+        assert len(beats) == 5
+
+    def test_stop_then_start_resumes(self, scheduler):
+        beats, failures = [], []
+        monitor = self.make(scheduler, beats, failures)
+        monitor.start()
+        scheduler.run_until(1.5)
+        assert len(beats) == 1
+        monitor.stop()
+        scheduler.run_until(4.0)
+        assert len(beats) == 1  # silent while stopped, and no failure
+        assert failures == []
+        monitor.start()
+        scheduler.run_until(5.5)
+        assert len(beats) == 2  # resumed: beat at 5.0
+        assert not monitor.failed
+
+    def test_restart_resets_the_silence_clock(self, scheduler):
+        beats, failures = [], []
+        monitor = self.make(scheduler, beats, failures, timeout=3.0)
+        monitor.start()
+        scheduler.run_until(2.0)  # 2s of silence already accumulated
+        monitor.start()  # reconnect resets last_seen
+        scheduler.run_until(4.5)
+        assert failures == []  # old silence must not count
+        scheduler.run_until(6.0)
+        assert len(failures) == 1
+        assert failures[0] == pytest.approx(5.0, abs=0.2)  # restart + timeout
+
+    def test_restart_after_failure_recovers(self, scheduler):
+        beats, failures = [], []
+        monitor = self.make(scheduler, beats, failures, timeout=2.0)
+        monitor.start()
+        scheduler.run_until(3.0)
+        assert monitor.failed and len(failures) == 1
+        monitor.start()  # the peer reconnected
+        assert not monitor.failed
+        monitor.touch()
+        scheduler.run_until(4.5)
+        assert len(failures) == 1  # no immediate re-failure
+        assert len(beats) >= 2  # heartbeats flowing again
+
+    def test_stop_is_idempotent_and_start_stop_start(self, scheduler):
+        beats, failures = [], []
+        monitor = self.make(scheduler, beats, failures)
+        monitor.start()
+        monitor.stop()
+        monitor.stop()
+        monitor.start()
+        monitor.stop()
+        scheduler.run_until(10.0)
+        assert beats == []
+        assert failures == []

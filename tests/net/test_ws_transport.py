@@ -1,0 +1,459 @@
+"""Tests for the real websocket volunteer transport.
+
+Unit layers first (wire codec, RFC 6455 framing, handshake, LoopClock), then
+in-process integration: a live :class:`WsVolunteerGateway` on a real loopback
+socket with volunteers running :func:`repro.worker.run_volunteer` in threads.
+Process-level churn (SIGKILL / SIGSTOP) lives in
+``tests/integration/test_ws_volunteer_churn.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+import threading
+
+import pytest
+
+from repro.core.distributed_map import DistributedMap
+from repro.errors import PandoError, ProtocolError
+from repro.net.serialization import Batch
+from repro.net.ws_transport import (
+    OP_BINARY,
+    OP_CONT,
+    WIRE_VERSION,
+    LoopClock,
+    WsConnection,
+    _apply_mask,
+    _read_ws_frame,
+    connect_websocket,
+    encode_ws_frame,
+    pack_wire_frame,
+    parse_ws_url,
+    server_handshake,
+    unpack_wire_frame,
+)
+from repro.pullstream import collect, from_iterable, pull
+from repro.worker import run_volunteer
+
+
+# --------------------------------------------------------------------------
+# Wire codec
+# --------------------------------------------------------------------------
+
+
+class TestWireCodec:
+    def test_record_without_values_roundtrips(self):
+        record = {"kind": "welcome", "worker_id": "w-1", "version": WIRE_VERSION}
+        assert unpack_wire_frame(pack_wire_frame(record)) == record
+
+    def test_values_roundtrip_inline_and_oob(self):
+        values = [1, "two", {"three": 3}, b"x" * 4096, None]
+        out = unpack_wire_frame(
+            pack_wire_frame({"kind": "data", "seq": 7}, values, oob_min_bytes=512)
+        )
+        assert out["seq"] == 7
+        assert out["values"] == values
+
+    def test_oob_threshold_respected(self):
+        # Far above the threshold the payload section carries the raw bytes
+        # once; far below everything rides inside the pickle.  Both decode
+        # identically — the threshold is a wire-size knob, not a semantic one.
+        values = [b"y" * 1000]
+        split = pack_wire_frame({"kind": "data"}, values, oob_min_bytes=64)
+        inline = pack_wire_frame({"kind": "data"}, values, oob_min_bytes=1 << 20)
+        assert unpack_wire_frame(split)["values"] == values
+        assert unpack_wire_frame(inline)["values"] == values
+        (control_len,) = struct.unpack_from("!I", split, 0)
+        assert len(split) == 4 + control_len + 1000  # raw buffer after pickle
+        assert len(inline) == 4 + struct.unpack_from("!I", inline, 0)[0]
+
+    def test_small_memoryview_is_inlined_as_bytes(self):
+        # A memoryview is unpicklable; below the threshold it must still
+        # travel (materialised), matching oob_unpack's bytes shape.
+        out = unpack_wire_frame(
+            pack_wire_frame({"kind": "data"}, [memoryview(b"tiny")], oob_min_bytes=512)
+        )
+        assert out["values"] == [b"tiny"]
+
+    def test_large_memoryview_goes_out_of_band(self):
+        view = memoryview(b"z" * 2048)
+        out = unpack_wire_frame(
+            pack_wire_frame({"kind": "data"}, [view], oob_min_bytes=512)
+        )
+        assert out["values"] == [b"z" * 2048]
+
+
+# --------------------------------------------------------------------------
+# RFC 6455 framing
+# --------------------------------------------------------------------------
+
+
+def _decode(data: bytes, max_frame: int = 1 << 26):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await _read_ws_frame(reader, max_frame)
+
+    return asyncio.run(go())
+
+
+class TestFraming:
+    def test_mask_is_an_involution(self):
+        payload, key = b"hello websocket world", b"\x12\x34\x56\x78"
+        assert _apply_mask(_apply_mask(payload, key), key) == payload
+        assert _apply_mask(b"", key) == b""
+
+    @pytest.mark.parametrize("size", [0, 5, 125, 126, 65535, 65536, 100_000])
+    @pytest.mark.parametrize("mask", [False, True])
+    def test_encode_decode_roundtrip(self, size, mask):
+        payload = bytes(range(256)) * (size // 256) + bytes(range(size % 256))
+        fin, opcode, out = _decode(encode_ws_frame(OP_BINARY, payload, mask=mask))
+        assert fin and opcode == OP_BINARY
+        assert out == payload
+
+    def test_oversized_frame_is_refused(self):
+        frame = encode_ws_frame(OP_BINARY, b"x" * 1000, mask=False)
+        with pytest.raises(ProtocolError):
+            _decode(frame, max_frame=100)
+
+    def test_fragmented_message_reassembles(self):
+        # FIN=0 BINARY then FIN=1 CONT — hand-built headers.
+        first = bytes([OP_BINARY, 3]) + b"abc"
+        final = bytes([0x80 | OP_CONT, 3]) + b"def"
+
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(first + final)
+            reader.feed_eof()
+            writer_closed = []
+
+            class _W:
+                def write(self, data):
+                    pass
+
+                def is_closing(self):
+                    return False
+
+                def close(self):
+                    writer_closed.append(True)
+
+            conn = WsConnection(reader, _W(), client_side=False)
+            return await conn.recv()
+
+        assert asyncio.run(go()) == b"abcdef"
+
+    def test_parse_ws_url(self):
+        assert parse_ws_url("ws://127.0.0.1:5000") == ("127.0.0.1", 5000, "/")
+        assert parse_ws_url("ws://host/path") == ("host", 80, "/path")
+        with pytest.raises(PandoError):
+            parse_ws_url("http://host:80/")
+
+
+# --------------------------------------------------------------------------
+# Handshake + a live echo socket
+# --------------------------------------------------------------------------
+
+
+class TestHandshake:
+    def test_client_server_handshake_and_echo(self):
+        async def go():
+            async def handler(reader, writer):
+                await server_handshake(reader, writer)
+                conn = WsConnection(reader, writer, client_side=False)
+                while True:
+                    payload = await conn.recv()
+                    if payload is None:
+                        break
+                    conn.send_bytes(payload)
+                conn.close_transport()
+
+            server = await asyncio.start_server(handler, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            conn = await connect_websocket(f"ws://127.0.0.1:{port}")
+            conn.send_bytes(b"ping me back")
+            await conn.drain()
+            echoed = await asyncio.wait_for(conn.recv(), 5)
+            conn.send_ping()
+            conn.send_close()
+            closed = await asyncio.wait_for(conn.recv(), 5)
+            conn.close_transport()
+            server.close()
+            await server.wait_closed()
+            return echoed, closed
+
+        echoed, closed = asyncio.run(go())
+        assert echoed == b"ping me back"
+        assert closed is None
+
+    def test_non_websocket_request_is_rejected(self):
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+            written = []
+
+            class _W:
+                def write(self, data):
+                    written.append(data)
+
+                async def drain(self):
+                    pass
+
+            with pytest.raises(ProtocolError):
+                await server_handshake(reader, _W())
+            return b"".join(written)
+
+        response = asyncio.run(go())
+        assert response.startswith(b"HTTP/1.1 400")
+
+
+class TestLoopClock:
+    def test_now_and_call_later(self):
+        async def go():
+            loop = asyncio.get_running_loop()
+            clock = LoopClock(loop)
+            fired = []
+            before = clock.now
+            handle = clock.call_later(0.01, lambda: fired.append(clock.now))
+            cancelled = clock.call_later(10.0, lambda: fired.append("never"))
+            cancelled.cancel()
+            await asyncio.sleep(0.05)
+            assert handle is not None
+            return before, fired
+
+        before, fired = asyncio.run(go())
+        assert len(fired) == 1
+        assert fired[0] >= before + 0.01
+
+
+# --------------------------------------------------------------------------
+# Gateway integration (threaded volunteers on a real loopback socket)
+# --------------------------------------------------------------------------
+
+
+def start_volunteer_thread(url, **kwargs):
+    """Run one volunteer session in a thread; returns (thread, result box)."""
+    box = {}
+
+    def target():
+        box["report"] = run_volunteer(url, **kwargs)
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    return thread, box
+
+
+def failing_fn(value):
+    raise ValueError(f"cannot process {value!r}")
+
+
+class TestGatewayIntegration:
+    def test_end_to_end_ordered_results(self):
+        dmap = DistributedMap(scheduler="asyncio", batch_size=2)
+        sink = pull(from_iterable(range(30)), dmap, collect())
+        gateway = dmap.serve_volunteers(fn_ref="operator:neg")
+        threads = [
+            start_volunteer_thread(gateway.url, name=f"vol-{i}", tabs=2)
+            for i in range(2)
+        ]
+        try:
+            dmap.drive(sink, timeout=30)
+            assert sink.result() == [-i for i in range(30)]
+        finally:
+            dmap.close()
+            for thread, _box in threads:
+                thread.join(10)
+        reports = [box["report"] for _thread, box in threads]
+        assert all(report.graceful for report in reports)
+        assert all(report.error is None for report in reports)
+        assert sum(report.values_processed for report in reports) == 30
+        assert gateway.volunteers_joined == 2
+        assert gateway.volunteers_left == 2
+        assert gateway.volunteers_crashed == 0
+        assert gateway.suspicions == 0
+        assert gateway.registry.joins == 2 and gateway.registry.leaves == 2
+        assert {record.device_name for record in gateway.registry.records} == {
+            "vol-0",
+            "vol-1",
+        }
+
+    def test_volunteer_supplies_its_own_function(self):
+        # The master announces no function reference; the volunteer brings
+        # one locally (the --module / --fn path of the CLI).
+        dmap = DistributedMap(scheduler="asyncio")
+        sink = pull(from_iterable([1, 2, 3]), dmap, collect())
+        gateway = dmap.serve_volunteers()  # fn_ref=None
+        thread, box = start_volunteer_thread(gateway.url, fn_ref="operator:neg")
+        try:
+            dmap.drive(sink, timeout=30)
+            assert sink.result() == [-1, -2, -3]
+        finally:
+            dmap.close()
+            thread.join(10)
+        assert box["report"].graceful
+
+    def test_no_function_anywhere_fails_the_session(self):
+        # Neither side names a function: the volunteer refuses the welcome
+        # and leaves; with no workers left the drive can only time out.
+        dmap = DistributedMap(scheduler="asyncio")
+        sink = pull(from_iterable([1]), dmap, collect())
+        gateway = dmap.serve_volunteers()  # fn_ref=None
+        thread, box = start_volunteer_thread(gateway.url)
+        try:
+            with pytest.raises(PandoError, match="timed out"):
+                dmap.drive(sink, timeout=2)
+            thread.join(10)
+            assert not thread.is_alive()
+        finally:
+            dmap.close()
+        report = box["report"]
+        assert report.error is not None
+        assert "function reference" in report.error
+
+    def test_task_error_fails_substream_and_relends(self):
+        # One volunteer whose function raises on every value: its sub-stream
+        # fails with a TaskError and everything it borrowed is re-lent to
+        # the healthy volunteer — the stream still completes exactly once.
+        dmap = DistributedMap(scheduler="asyncio", batch_size=2)
+        sink = pull(from_iterable(range(12)), dmap, collect())
+        gateway = dmap.serve_volunteers()
+        bad_thread, bad_box = start_volunteer_thread(
+            gateway.url, fn_ref=failing_fn, name="bad"
+        )
+        good_thread, good_box = start_volunteer_thread(
+            gateway.url, fn_ref="operator:neg", name="good"
+        )
+        try:
+            dmap.drive(sink, timeout=30)
+            assert sink.result() == [-i for i in range(12)]
+        finally:
+            dmap.close()
+            bad_thread.join(10)
+            good_thread.join(10)
+        assert bad_box["report"].error is not None
+        assert "task failed" in bad_box["report"].error
+        assert good_box["report"].error is None
+        assert gateway.volunteers_crashed == 1
+        assert gateway.registry.crashes == 1
+
+    def test_max_frames_graceful_leave_relends(self):
+        # A volunteer that answers two frames and leaves (bye) mid-stream:
+        # a graceful departure, not a crash, and no value is lost.
+        dmap = DistributedMap(scheduler="asyncio", batch_size=1)
+        sink = pull(from_iterable(range(16)), dmap, collect())
+        gateway = dmap.serve_volunteers(fn_ref="operator:neg")
+        leaver_thread, leaver_box = start_volunteer_thread(
+            gateway.url, name="leaver", max_frames=2
+        )
+        stayer_thread, _stayer_box = start_volunteer_thread(
+            gateway.url, name="stayer"
+        )
+        try:
+            dmap.drive(sink, timeout=30)
+            assert sink.result() == [-i for i in range(16)]
+        finally:
+            dmap.close()
+            leaver_thread.join(10)
+            stayer_thread.join(10)
+        assert leaver_box["report"].graceful
+        assert leaver_box["report"].frames_processed == 2
+        assert gateway.volunteers_crashed == 0
+        assert gateway.volunteers_left == 2
+
+    def test_heartbeats_flow_without_false_suspicion(self):
+        # Aggressive ping interval over a slow workload: pings and pongs
+        # must flow in both directions and nobody gets suspected.
+        inputs = [{"sleep": 0.05, "n": i} for i in range(8)]
+        dmap = DistributedMap(scheduler="asyncio")
+        sink = pull(from_iterable(inputs), dmap, collect())
+        gateway = dmap.serve_volunteers(
+            fn_ref="repro.pool.workloads:sleep_echo",
+            heartbeat_interval=0.05,
+            heartbeat_timeout=2.0,
+        )
+        thread, box = start_volunteer_thread(gateway.url, name="steady")
+        try:
+            dmap.drive(sink, timeout=30)
+            assert [v["n"] for v in sink.result()] == list(range(8))
+        finally:
+            dmap.close()
+            thread.join(10)
+        report = box["report"]
+        assert report.graceful and not report.suspected_master
+        assert report.pings_received >= 1  # master pinged the volunteer
+        assert gateway.suspicions == 0
+
+    def test_batched_frames_roundtrip(self):
+        # frame_batch > 1 coalesces values into Batch frames on the wire and
+        # the volunteer answers one Batch result frame per input frame.
+        dmap = DistributedMap(scheduler="asyncio", batch_size=4)
+        sink = pull(from_iterable(range(20)), dmap, collect())
+        gateway = dmap.serve_volunteers(
+            fn_ref="operator:neg", frame_batch=4, window=2
+        )
+        thread, box = start_volunteer_thread(gateway.url, name="batcher")
+        try:
+            dmap.drive(sink, timeout=30)
+            assert sink.result() == [-i for i in range(20)]
+        finally:
+            dmap.close()
+            thread.join(10)
+        report = box["report"]
+        assert report.values_processed == 20
+        assert report.frames_processed == 5  # 20 values / frame_batch 4
+
+    def test_connect_failure_is_reported_not_raised(self):
+        report = run_volunteer("ws://127.0.0.1:9", connect_timeout=2.0)
+        assert report.error is not None and "connect failed" in report.error
+        assert report.worker_id is None
+
+    def test_gateway_requires_an_event_loop_scheduler(self):
+        dmap = DistributedMap()  # thread driver, no scheduler
+        with pytest.raises(PandoError):
+            dmap.serve_volunteers()
+        dmap.close()
+
+    def test_batch_frames_use_the_wire_batch_marker(self):
+        # The DATA frame for a Batch sets batched=True and carries the
+        # values flat — spot-check the codec contract the two sides share.
+        frame = Batch([1, 2, 3])
+        payload = pack_wire_frame(
+            {"kind": "data", "seq": 1, "batched": True}, list(frame.values)
+        )
+        out = unpack_wire_frame(payload)
+        assert out["batched"] is True
+        assert out["values"] == [1, 2, 3]
+
+
+class TestVolunteerCli:
+    def test_cli_runs_a_session_end_to_end(self, capsys):
+        from repro.cli.pando_cli import main as pando_main
+
+        dmap = DistributedMap(scheduler="asyncio")
+        sink = pull(from_iterable([1, 2, 3]), dmap, collect())
+        gateway = dmap.serve_volunteers(fn_ref="operator:neg")
+        box = {}
+
+        def target():
+            box["code"] = pando_main(
+                ["volunteer", gateway.url, "--name", "cli-vol", "--tabs", "2"]
+            )
+
+        thread = threading.Thread(target=target, daemon=True)
+        thread.start()
+        try:
+            dmap.drive(sink, timeout=30)
+            assert sink.result() == [-1, -2, -3]
+        finally:
+            dmap.close()
+            thread.join(10)
+        assert box["code"] == 0
+        assert "cli-vol" in capsys.readouterr().err
+
+    def test_cli_reports_connect_failure(self, capsys):
+        from repro.worker.volunteer import main as volunteer_main
+
+        code = volunteer_main(["ws://127.0.0.1:9", "--fn", "operator:neg"])
+        assert code == 1
+        assert "connect failed" in capsys.readouterr().err

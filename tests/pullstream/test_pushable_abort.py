@@ -1,0 +1,69 @@
+"""Regression tests: a downstream abort must answer a parked Pushable read.
+
+A consumer that parked a read (the buffer was empty, the producer had not
+pushed yet) and then aborts — a find hit, a dying channel — used to leave
+that parked callback unanswered forever: the abort path closed the stream
+and answered only its own callback.  Every ask gets exactly one answer, and
+the abort *is* that answer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pullstream import DONE
+from repro.pullstream.pushable import Pushable
+
+
+class TestPushableAbortAnswersParkedRead:
+    def test_parked_read_is_answered_on_done_abort(self):
+        p = Pushable()
+        answers = []
+        p(None, lambda end, value: answers.append(("parked", end, value)))
+        assert answers == []  # parked, waiting for the producer
+        p(DONE, lambda end, value: answers.append(("abort", end, value)))
+        assert answers == [("parked", DONE, None), ("abort", DONE, None)]
+
+    def test_parked_read_is_answered_on_error_abort(self):
+        p = Pushable()
+        answers = []
+        boom = RuntimeError("downstream died")
+        p(None, lambda end, value: answers.append(("parked", end, value)))
+        p(boom, lambda end, value: answers.append(("abort", end, value)))
+        assert answers == [("parked", boom, None), ("abort", boom, None)]
+
+    def test_each_callback_answered_exactly_once(self):
+        p = Pushable()
+        counts = {"parked": 0, "abort": 0}
+        p(None, lambda end, value: counts.__setitem__("parked", counts["parked"] + 1))
+        p(DONE, lambda end, value: counts.__setitem__("abort", counts["abort"] + 1))
+        # Late producer activity must not re-answer anything.
+        p.push("late value")
+        p.end()
+        assert counts == {"parked": 1, "abort": 1}
+
+    def test_on_close_fires_once(self):
+        closes = []
+        p = Pushable(on_close=closes.append)
+        p(None, lambda end, value: None)
+        p(DONE, lambda end, value: None)
+        assert closes == [DONE]
+
+    def test_read_after_abort_reports_the_end(self):
+        p = Pushable()
+        p(None, lambda end, value: None)
+        p(DONE, lambda end, value: None)
+        answers = []
+        p(None, lambda end, value: answers.append((end, value)))
+        assert answers == [(DONE, None)]
+
+    def test_abort_without_parked_read_unchanged(self):
+        # The pre-existing path: buffered values dropped, abort answered.
+        p = Pushable()
+        p.push(1)
+        p.push(2)
+        answers = []
+        p(DONE, lambda end, value: answers.append((end, value)))
+        assert answers == [(DONE, None)]
+        assert p.buffered == 0
+        assert p.ended

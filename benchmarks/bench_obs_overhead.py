@@ -1,0 +1,88 @@
+"""Observability plane overhead: metrics/tracing on vs. off.
+
+The claim under test is the PR 9 acceptance bar: with the metrics registry,
+per-frame tracing, and trace log all enabled, a no-op pool run — machinery
+the bottleneck by construction — loses **<5%** throughput versus the same
+run with ``DistributedMap(metrics=False)``.  Every attempt also scrapes a
+real HTTP endpoint after the metrics arm and asserts the exposition carries
+non-zero lender, pool, and frame counters: cheapness must not come from
+tracing silently not happening.
+
+Relative timing of two short runs on a loaded CI host jitters with
+scheduler noise, so the overhead assertion deflakes itself like the shm
+transport bench: each attempt already reports best-of-``repeats`` per arm,
+and up to three attempts may run before the bar must be met.  Correctness
+(delivery + populated scrape) is asserted on *every* attempt — only the
+timing may retry.
+
+Run with ``--benchmark-only -s`` to see the measured numbers, or in fast
+mode (``REPRO_BENCH_FAST=1 ... --benchmark-disable``) as a smoke test.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench.comparison import compare_obs_overhead
+
+FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
+
+ATTEMPTS = 3
+
+
+def run_comparison():
+    if FAST:
+        return compare_obs_overhead(count=64, payload_bytes=1 << 12, repeats=2)
+    # A run long enough (hundreds of frames, ~0.3s per arm) that scheduler
+    # noise amortises below the 5% bar under measurement.
+    return compare_obs_overhead(
+        count=4096, payload_bytes=1 << 13, batch_size=16, repeats=3
+    )
+
+
+def nonzero(scrape, prefix):
+    for line in scrape.splitlines():
+        if not line or line.startswith("#") or not line.startswith(prefix):
+            continue
+        _name, _, value = line.rpartition(" ")
+        if float(value) > 0:
+            return True
+    return False
+
+
+def assert_obs_contract(comparison):
+    """Delivery intact and the scrape populated, both arms, every attempt."""
+    assert comparison.results_match
+    assert comparison.frames_traced > 0
+    assert nonzero(comparison.scrape_text, "pando_frames_total")
+    assert nonzero(comparison.scrape_text, "pando_lender_values_read_total")
+    assert nonzero(comparison.scrape_text, "pando_pool_")
+    assert nonzero(comparison.scrape_text, "pando_trace_events_total")
+    assert nonzero(comparison.scrape_text, "pando_frame_overhead_seconds_count")
+
+
+def test_obs_overhead_under_bar(benchmark):
+    """Metrics on costs <5% wall-clock on a no-op pool run."""
+    target = 0.25 if FAST else 0.05
+    attempts = []
+
+    def run():
+        for _ in range(ATTEMPTS):
+            comparison = run_comparison()
+            assert_obs_contract(comparison)
+            attempts.append(comparison)
+            if comparison.overhead_fraction < target:
+                break
+        return min(attempts, key=lambda c: c.overhead_fraction)
+
+    best = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\nobs overhead: {best.values} x {best.payload_bytes >> 10} KiB payloads, "
+        f"off {best.metrics_off_seconds:.3f}s, on {best.metrics_on_seconds:.3f}s, "
+        f"overhead {best.overhead_fraction * 100:+.1f}% "
+        f"({best.frames_traced} frames traced) over {len(attempts)} attempt(s)"
+    )
+    benchmark.extra_info["overhead_fraction"] = best.overhead_fraction
+    # Fast mode shrinks the run towards the fixed pool start-up cost, where
+    # scheduler noise dominates; the full run asserts the 5% acceptance bar.
+    assert best.overhead_fraction < target

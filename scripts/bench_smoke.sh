@@ -16,4 +16,5 @@ python -m pytest \
     benchmarks/bench_event_loop.py \
     benchmarks/bench_shm_transport.py \
     benchmarks/bench_ws_transport.py \
+    benchmarks/bench_obs_overhead.py \
     -q --benchmark-disable "$@"

@@ -38,6 +38,8 @@ __all__ = [
     "crypto_search_inputs",
     "EventLoopComparison",
     "compare_event_loop",
+    "ObsOverheadComparison",
+    "compare_obs_overhead",
 ]
 
 
@@ -761,4 +763,118 @@ def compare_unordered_sharding(
             sum(1 for r in ordered_results if r.get("found")) == 1
             and sum(1 for r in unordered_results if r.get("found")) == 1
         ),
+    )
+
+
+# --------------------------------------------------------------------------
+# Observability overhead (metrics/tracing on vs. off)
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ObsOverheadComparison:
+    """Wall-clock cost of the observability plane on a no-op pool run."""
+
+    workload: str
+    values: int
+    payload_bytes: int
+    processes: int
+    batch_size: int
+    metrics_on_seconds: float
+    metrics_off_seconds: float
+    #: both arms delivered exactly the expected results, in order
+    results_match: bool
+    #: frames the metrics arm traced end to end (its fastest run)
+    frames_traced: int
+    #: Prometheus exposition scraped over HTTP after the fastest metrics run
+    scrape_text: str
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Relative slowdown of the metrics arm ((on - off) / off)."""
+        if self.metrics_off_seconds <= 0:
+            return 0.0
+        return (
+            self.metrics_on_seconds - self.metrics_off_seconds
+        ) / self.metrics_off_seconds
+
+
+def compare_obs_overhead(
+    fn_ref: Any = "repro.pool.workloads:echo",
+    count: int = 256,
+    payload_bytes: int = 1 << 14,
+    processes: int = 2,
+    batch_size: int = 8,
+    repeats: int = 3,
+    workload: Optional[str] = None,
+) -> ObsOverheadComparison:
+    """Run one pool workload with the observability plane on, then off.
+
+    A no-op function makes the machinery the bottleneck by construction, so
+    any per-frame tracing cost shows up directly in wall-clock.  Each arm
+    runs *repeats* times and reports its fastest run (pool start-up jitters
+    far more than the tracing under test); both arms are checked for
+    exactly-once in-order delivery on every run.  After the fastest
+    metrics-on run the registry is scraped over a real HTTP endpoint —
+    outside the timed window — so callers can assert the exposition carries
+    non-zero counters, not just that tracing was cheap.
+    """
+    import urllib.request
+
+    from ..core.distributed_map import DistributedMap
+    from ..pullstream import collect, pull, values
+
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    items = large_payload_inputs(count, payload_bytes)
+    expected = [run_task_locally(fn_ref, item) for item in items]
+
+    def run_arm(metrics: bool) -> tuple:
+        start = time.perf_counter()
+        dmap = DistributedMap(batch_size=batch_size, metrics=metrics)
+        sink = pull(values(items), dmap, collect())
+        try:
+            dmap.add_process_pool(fn_ref, processes=processes, batch_size=batch_size)
+            results = sink.result()
+            seconds = time.perf_counter() - start
+            frames = 0
+            scrape = ""
+            if metrics:
+                frames = int(dmap.obs.frames.value(transport="pipe"))
+                endpoint = dmap.serve_metrics()
+                with urllib.request.urlopen(endpoint.url, timeout=5) as response:
+                    scrape = response.read().decode("utf-8")
+        finally:
+            dmap.close()
+        return seconds, results, frames, scrape
+
+    results_match = True
+    off_seconds = float("inf")
+    for _ in range(repeats):
+        seconds, results, _frames, _scrape = run_arm(metrics=False)
+        off_seconds = min(off_seconds, seconds)
+        results_match = results_match and results == expected
+
+    on_seconds = float("inf")
+    frames_traced = 0
+    scrape_text = ""
+    for _ in range(repeats):
+        seconds, results, frames, scrape = run_arm(metrics=True)
+        results_match = results_match and results == expected
+        if seconds < on_seconds:
+            on_seconds = seconds
+            frames_traced = frames
+            scrape_text = scrape
+
+    return ObsOverheadComparison(
+        workload=workload or repr(fn_ref),
+        values=len(items),
+        payload_bytes=payload_bytes,
+        processes=processes,
+        batch_size=batch_size,
+        metrics_on_seconds=on_seconds,
+        metrics_off_seconds=off_seconds,
+        results_match=results_match,
+        frames_traced=frames_traced,
+        scrape_text=scrape_text,
     )

@@ -149,6 +149,22 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--port", type=int, default=5000, help="port announced in the startup message"
     )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        dest="metrics_port",
+        help="serve the Prometheus-style metrics endpoint on this port while "
+        "the pipeline runs (0 picks a free port; the chosen URL is announced "
+        "on standard error)",
+    )
+    parser.add_argument(
+        "--stats-json",
+        action="store_true",
+        dest="stats_json",
+        help="after the run, write the structured metrics snapshot (every "
+        "registered family, JSON) to standard error",
+    )
     return parser
 
 
@@ -192,6 +208,9 @@ def run_pipeline(
     split_buffer: Optional[int] = None,
     scheduler: str = "thread",
     pool_transport: str = "pipe",
+    metrics_port: Optional[int] = None,
+    stats_out: Any = None,
+    status_out: Any = None,
 ) -> List[Any]:
     """Run the distributed map and return the results.
 
@@ -214,6 +233,12 @@ def run_pipeline(
     the configuration where several pools compute concurrently on a single
     unsharded master.  ``pool_transport="shm"`` moves large payloads through
     each pool's shared-memory slot ring instead of the executor pipe.
+
+    *metrics_port* serves the map's Prometheus-style scrape endpoint on
+    that port for the duration of the run (0 picks a free port); the
+    endpoint URL is announced on *status_out* when given.  *stats_out* (a
+    writable text stream) receives the structured metrics snapshot — every
+    registered family as JSON — after the run completes.
     """
     dmap = DistributedMap(
         ordered=ordered,
@@ -222,6 +247,10 @@ def run_pipeline(
         split_buffer=split_buffer,
         scheduler="asyncio" if scheduler == "asyncio" else None,
     )
+    if metrics_port is not None:
+        endpoint = dmap.serve_metrics(port=metrics_port)
+        if status_out is not None:
+            status_out.write(f"Serving metrics at {endpoint.url}\n")
     sink = pull(from_iterable(inputs), dmap, collect())
     try:
         if backend == "pool":
@@ -242,7 +271,11 @@ def run_pipeline(
             # below reports accurately — drive()'s pool-stall diagnostic
             # would misattribute it to pools/shards that do not exist.
             dmap.drive(sink)
-        return sink.result()
+        results = sink.result()
+        if stats_out is not None:
+            json.dump(dmap.obs.registry.as_dict(), stats_out, default=repr)
+            stats_out.write("\n")
+        return results
     finally:
         dmap.close()
 
@@ -348,6 +381,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         split_buffer=args.split_buffer,
         scheduler=args.scheduler,
         pool_transport=args.pool_transport,
+        metrics_port=args.metrics_port,
+        stats_out=stderr if args.stats_json else None,
+        status_out=stderr,
     )
     for result in results:
         _emit(result, sys.stdout)

@@ -14,6 +14,7 @@ import time
 from typing import Any, Callable, Dict, List, Optional
 
 from ..errors import PandoError
+from ..obs.trace import Observability
 from ..pullstream import async_map, batching, pull, unbatching
 from ..pullstream.duplex import Duplex
 from ..pullstream.protocol import ProtocolChecker, Source
@@ -22,7 +23,58 @@ from .lender import StreamLender, SubStream, UnorderedStreamLender
 from .limiter import Limiter
 from .sharding import ShardedLender
 
-__all__ = ["DistributedMap", "WorkerHandle"]
+__all__ = ["DistributedMap", "MapStats", "WorkerHandle"]
+
+#: LenderStats fields exported per shard as ``pando_lender_*`` families.
+_LENDER_FIELDS = (
+    ("values_read", "Values read from the map's input stream."),
+    ("values_lent", "Values lent to worker sub-streams (first lends)."),
+    ("values_relent", "Values re-lent after a sub-stream crash-stop failure."),
+    ("results_delivered", "Results delivered to the map's output stream."),
+    ("substreams_opened", "Worker sub-streams opened."),
+    ("substreams_failed", "Worker sub-streams that failed (crash-stop)."),
+    ("substreams_closed", "Worker sub-streams that closed cleanly."),
+)
+
+#: ProcessPoolWorker counters exported per worker as ``pando_pool_*``.
+_POOL_FIELDS = (
+    ("tasks_submitted", "Executor tasks (frames) submitted to the pool."),
+    ("values_dispatched", "Values dispatched to the pool across all frames."),
+    ("results_returned", "Result values returned by the pool."),
+    ("tasks_cancelled", "Frames cancelled before their task ran (abort fan-out)."),
+)
+
+#: ShmRing counters exported per shm-transport worker as ``pando_shm_*``.
+_SHM_FIELDS = (
+    ("slots_acquired", "Ring slots acquired for frame payloads."),
+    ("slots_released", "Ring slots released after delivery or cancellation."),
+    ("fallbacks", "Payloads that stayed in-band (no slot fit or ring full)."),
+    ("bytes_written", "Payload bytes written into ring slots."),
+    ("bytes_read", "Payload bytes read back out of ring slots."),
+)
+
+#: EventLoopScheduler counters exported as ``pando_sched_*``.
+_SCHED_FIELDS = (
+    ("rounds", "Dispatch rounds run by the scheduler."),
+    ("dispatches", "Source dispatches that made progress."),
+    ("wakeups", "Wake events that ended a scheduler wait."),
+    ("cancellations", "Frames cancelled through the scheduler's fan-out."),
+    ("stalls", "Pump stalls diagnosed (each raised to the caller)."),
+)
+
+#: WsVolunteerGateway counters exported per gateway as ``pando_ws_*``.
+_WS_FIELDS = (
+    ("volunteers_joined", "Volunteers that completed the websocket handshake."),
+    ("volunteers_left", "Volunteers that departed cleanly (bye frame)."),
+    ("volunteers_crashed", "Volunteers that vanished mid-stream."),
+    ("suspicions", "Heartbeat-timeout suspicions raised."),
+    ("frames_sent", "DATA frames sent to volunteers."),
+    ("values_sent", "Values sent to volunteers across all frames."),
+    ("results_received", "Result values received from volunteers."),
+    ("pings_sent", "Heartbeat pings sent across departed connections."),
+    ("bytes_sent", "Websocket payload bytes sent to volunteers."),
+    ("bytes_received", "Websocket payload bytes received from volunteers."),
+)
 
 NodeCallback = Callable[[Optional[BaseException], Any], None]
 AsyncFunction = Callable[[Any, NodeCallback], None]
@@ -63,6 +115,63 @@ class WorkerHandle:
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         state = "closed" if self.closed else "open"
         return f"<WorkerHandle {self.worker_id} {state} in_flight={self.in_flight}>"
+
+
+class MapStats:
+    """Live view of a map's lender counters plus its volunteer plane.
+
+    Unknown attributes proxy to the lender's (aggregate)
+    :class:`~repro.core.lender.LenderStats`, so code that reads
+    ``dmap.stats.values_read`` is oblivious to this wrapper.  The volunteer
+    plane aggregates every websocket gateway the map serves **and** every
+    registry attached with
+    :meth:`DistributedMap.attach_volunteer_registry` — join/leave/crash
+    tallies come from the registries (a gateway records through its own
+    registry, so counting both would double), connection-level counters
+    from the gateways.
+    """
+
+    def __init__(self, dmap: "DistributedMap") -> None:
+        self._dmap = dmap
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._dmap.lender.stats, name)
+
+    @property
+    def volunteers(self) -> Dict[str, Any]:
+        """Aggregate volunteer-plane tallies across gateways and registries."""
+        dmap = self._dmap
+        registries: List[Any] = []
+        for gateway in dmap._gateways:
+            registry = getattr(gateway, "registry", None)
+            if registry is not None and not any(r is registry for r in registries):
+                registries.append(registry)
+        for registry in dmap._volunteer_registries:
+            if not any(r is registry for r in registries):
+                registries.append(registry)
+        gateways = dmap._gateways
+        return {
+            "joined": sum(r.joins for r in registries),
+            "left": sum(r.leaves for r in registries),
+            "crashed": sum(r.crashes for r in registries),
+            "active": sum(len(r.active) for r in registries),
+            "suspicions": sum(g.suspicions for g in gateways),
+            "frames_sent": sum(g.frames_sent for g in gateways),
+            "values_sent": sum(g.values_sent for g in gateways),
+            "results_received": sum(g.results_received for g in gateways),
+            "pings_sent": sum(g.pings_sent for g in gateways),
+            "bytes_sent": sum(getattr(g, "bytes_sent", 0) for g in gateways),
+            "bytes_received": sum(getattr(g, "bytes_received", 0) for g in gateways),
+        }
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Lender snapshot plus a ``"volunteers"`` sub-dict."""
+        data = self._dmap.lender.stats.as_dict()
+        data["volunteers"] = self.volunteers
+        return data
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<MapStats {self.as_dict()!r}>"
 
 
 class DistributedMap:
@@ -110,6 +219,8 @@ class DistributedMap:
         split_buffer: Optional[int] = None,
         scheduler: Optional[Any] = None,
         debug: bool = False,
+        metrics: bool = True,
+        job_id: Optional[str] = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -156,7 +267,26 @@ class DistributedMap:
         self._workers: Dict[str, WorkerHandle] = {}
         self._pools: List[Any] = []
         self._gateways: List[Any] = []
+        self._metrics_endpoints: List[Any] = []
+        self._volunteer_registries: List[Any] = []
         self._counter = 0
+        # thread-driver counters, mirrors of the scheduler's rounds/stalls
+        self.drive_rounds = 0
+        self.drive_stalls = 0
+        #: this map's observability plane — metrics registry, trace-event
+        #: ring buffer, and the per-frame tracer threaded through the
+        #: transports.  ``metrics=False`` disables the per-frame hot path
+        #: (the metrics-off arm of the overhead bench); the registry and
+        #: trace log always exist, so collectors register either way and
+        #: cost nothing until scraped.
+        self.obs = Observability(enabled=bool(metrics), job_id=job_id)
+        if self.scheduler is not None and getattr(self.scheduler, "trace", None) is None:
+            self.scheduler.trace = self.obs.trace
+        if shards > 1:
+            self.lender.set_trace(self.obs.trace.emit)
+        else:
+            self.lender.on_trace = self.obs.trace.emit
+        self._register_core_collectors()
 
     # ------------------------------------------------------------------ API
     def __call__(self, read: Source) -> Source:
@@ -282,6 +412,7 @@ class DistributedMap:
             slot_count=slot_count,
             slot_size=slot_size,
             shm_min_bytes=shm_min_bytes,
+            obs=self.obs,
         )
         try:
             frame = batch_size if batch_size is not None else self.batch_size
@@ -301,6 +432,7 @@ class DistributedMap:
         handle = WorkerHandle(worker_id, sub, limiter, pool=pool)
         self._workers[worker_id] = handle
         self._pools.append(pool)
+        self._register_pool_collectors(worker_id, pool)
         return handle
 
     def serve_volunteers(
@@ -332,7 +464,138 @@ class DistributedMap:
         gateway = WsVolunteerGateway(self, host=host, port=port, fn_ref=fn_ref, **options)
         gateway.start()
         self._gateways.append(gateway)
+        self._register_gateway_collectors(gateway)
         return gateway
+
+    # --------------------------------------------------------- observability
+    def serve_metrics(self, port: int = 0, host: str = "127.0.0.1") -> Any:
+        """Serve this map's metrics registry over HTTP (Prometheus text).
+
+        Binds a scrape endpoint on *host*:*port* (0 picks a free port) and
+        returns it; ``endpoint.url`` is the address to scrape.  On a map
+        with an event-loop scheduler the endpoint runs on the loop and is
+        registered as an :class:`~repro.sched.sources.EventSource` — exactly
+        like the websocket volunteer gateway — so scrapes are answered while
+        :meth:`drive` spins.  On a thread-driven map it runs on a daemon
+        thread instead.  :meth:`close` stops every endpoint started here.
+        """
+        from ..obs.http_endpoint import serve_registry
+
+        endpoint = serve_registry(
+            self.obs.registry, self.scheduler, host=host, port=port
+        )
+        self._metrics_endpoints.append(endpoint)
+        return endpoint
+
+    def attach_volunteer_registry(self, registry: Any) -> None:
+        """Fold *registry*'s volunteer tallies into :attr:`stats`.
+
+        The master's :class:`~repro.master.registry.VolunteerRegistry` — or
+        any object with ``joins``/``leaves``/``crashes`` counters and an
+        ``active`` list — joins the map's volunteer-plane aggregation, so
+        simulated deployments (which never open a websocket gateway) report
+        volunteer churn through the same ``stats.as_dict()`` shape as real
+        ones.  Registering twice is a no-op.
+        """
+        if any(existing is registry for existing in self._volunteer_registries):
+            return
+        self._volunteer_registries.append(registry)
+        labels = {"source": f"registry-{len(self._volunteer_registries)}"}
+        for field, help_text in (
+            ("joins", "Volunteers that joined, per attached registry."),
+            ("leaves", "Volunteers that left cleanly, per attached registry."),
+            ("crashes", "Volunteers that crashed, per attached registry."),
+        ):
+            self.obs.registry.register_callback(
+                f"pando_volunteers_{field}_total",
+                help_text,
+                (lambda reg=registry, name=field: getattr(reg, name)),
+                labels=labels,
+            )
+
+    def _register_core_collectors(self) -> None:
+        """Export the lender and scheduler counters as scrape-time callbacks.
+
+        The counters themselves stay plain attributes (the hot paths that
+        bump them remain lock-free and tests keep reading them directly);
+        the callbacks read them live at scrape/snapshot time only.
+        """
+        registry = self.obs.registry
+        for index, stats in enumerate(self.per_shard_stats):
+            labels = {"shard": index}
+            for field, help_text in _LENDER_FIELDS:
+                registry.register_callback(
+                    f"pando_lender_{field}_total",
+                    help_text,
+                    (lambda stats=stats, name=field: getattr(stats, name)),
+                    labels=labels,
+                )
+        if self.scheduler is not None:
+            for field, help_text in _SCHED_FIELDS:
+                registry.register_callback(
+                    f"pando_sched_{field}_total",
+                    help_text,
+                    (lambda sched=self.scheduler, name=field: getattr(sched, name, 0)),
+                )
+        else:
+            registry.register_callback(
+                "pando_sched_rounds_total",
+                "Dispatch rounds run by the thread driver.",
+                lambda: self.drive_rounds,
+            )
+            registry.register_callback(
+                "pando_sched_stalls_total",
+                "Thread-driver stalls diagnosed (each raised to the caller).",
+                lambda: self.drive_stalls,
+            )
+
+    def _register_pool_collectors(self, worker_id: str, pool: Any) -> None:
+        """Export one pool's counters (and its shm ring's) at scrape time."""
+        registry = self.obs.registry
+        labels = {"worker": worker_id}
+        for field, help_text in _POOL_FIELDS:
+            registry.register_callback(
+                f"pando_pool_{field}_total",
+                help_text,
+                (lambda pool=pool, name=field: getattr(pool, name)),
+                labels=labels,
+            )
+        ring = getattr(pool, "ring", None)
+        if ring is None:
+            return
+        for field, help_text in _SHM_FIELDS:
+            registry.register_callback(
+                f"pando_shm_{field}_total",
+                help_text,
+                (lambda ring=ring, name=field: getattr(ring, name)),
+                labels=labels,
+            )
+        registry.register_callback(
+            "pando_shm_slots_in_use",
+            "Ring slots currently held by in-flight frames.",
+            (lambda ring=ring: ring.in_use),
+            labels=labels,
+            kind="gauge",
+        )
+        registry.register_callback(
+            "pando_shm_leaked_slots",
+            "Ring slots still held after close (a leak; must stay 0).",
+            (lambda ring=ring: ring.in_use if ring.closed else 0),
+            labels=labels,
+            kind="gauge",
+        )
+
+    def _register_gateway_collectors(self, gateway: Any) -> None:
+        """Export one websocket gateway's counters at scrape time."""
+        registry = self.obs.registry
+        labels = {"gateway": f"{gateway.host}:{gateway.port}"}
+        for field, help_text in _WS_FIELDS:
+            registry.register_callback(
+                f"pando_ws_{field}_total",
+                help_text,
+                (lambda gw=gateway, name=field: getattr(gw, name, 0)),
+                labels=labels,
+            )
 
     # ------------------------------------------------------------ internals
     def _claim_worker_id(self, worker_id: Optional[str]) -> str:
@@ -444,11 +707,19 @@ class DistributedMap:
         aborted = self._abort_pending(sinks) if cancel_on_abort else None
         cancelled = False
         while not all(sink.done for sink in sinks):
+            self.drive_rounds += 1
             if deadline is not None and time.monotonic() > deadline:
+                self.obs.trace.emit(
+                    "pump_timeout",
+                    timeout=timeout,
+                    pending=sum(1 for sink in sinks if not sink.done),
+                )
                 raise PandoError("DistributedMap.drive timed out")
             if aborted is not None and not cancelled and aborted():
                 cancelled = True
-                self._cancel_pool_pending()
+                self.obs.trace.emit(
+                    "abort_fanout", cancelled=self._cancel_pool_pending()
+                )
             progressed = False
             for pool in self._pools:
                 progressed = pool.poll() or progressed
@@ -460,6 +731,12 @@ class DistributedMap:
                 if pool.waiting and pool.head_future is not None
             ]
             if not futures:
+                self.drive_stalls += 1
+                self.obs.trace.emit(
+                    "pump_stall",
+                    sources=len(self._pools),
+                    pending=sum(1 for sink in sinks if not sink.done),
+                )
                 raise PandoError(
                     "DistributedMap.drive stalled: the sink has not completed "
                     "and no attached pool has a deliverable result (is every "
@@ -470,7 +747,9 @@ class DistributedMap:
         # that completed the last sink): cancel the queued futures now, so
         # the cores come back without waiting for close().
         if aborted is not None and not cancelled and aborted():
-            self._cancel_pool_pending()
+            self.obs.trace.emit(
+                "abort_fanout", cancelled=self._cancel_pool_pending()
+            )
 
     def _abort_pending(self, sinks) -> Callable[[], bool]:
         """Predicate: the stream aborted, queued pool work is now garbage."""
@@ -512,9 +791,13 @@ class DistributedMap:
         -loop scheduler, when the map created it (``scheduler="asyncio"``);
         a shared scheduler instance passed in by the caller is left running.
         Gateways go first: their teardown needs the scheduler's loop to
-        close volunteer connections cleanly.  Idempotent."""
+        close volunteer connections cleanly.  Metrics endpoints follow, for
+        the same reason (the loop-hosted flavour).  Idempotent."""
         for gateway in self._gateways:
             gateway.stop()
+        endpoints, self._metrics_endpoints = self._metrics_endpoints, []
+        for endpoint in endpoints:
+            endpoint.stop()
         for pool in self._pools:
             pool.close()
         if self._owns_scheduler and self.scheduler is not None:
@@ -538,9 +821,17 @@ class DistributedMap:
         return [handle for handle in self._workers.values() if not handle.closed]
 
     @property
-    def stats(self):
-        """The underlying :class:`~repro.core.lender.LenderStats`."""
-        return self.lender.stats
+    def stats(self) -> "MapStats":
+        """Live stats view: lender counters plus the volunteer plane.
+
+        Attribute access proxies to the underlying
+        :class:`~repro.core.lender.LenderStats` (``stats.values_read`` etc.
+        keep working unchanged); :meth:`MapStats.as_dict` additionally folds
+        in the websocket gateway counters and the volunteer-registry
+        tallies, so one snapshot covers both the stream plane and the
+        volunteer plane.
+        """
+        return MapStats(self)
 
     @property
     def per_shard_stats(self):

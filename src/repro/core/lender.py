@@ -160,6 +160,9 @@ class StreamLender:
 
     def __init__(self) -> None:
         self.stats = LenderStats()
+        #: ``TraceLog.emit``-shaped hook (``emit(kind, **fields)``); when set,
+        #: a crash-stop sub-stream failure emits a ``substream_failed`` event
+        self.on_trace: Optional[Callable[..., Any]] = None
         self._ids = itertools.count()
         self._upstream: Optional[Source] = None
         self._upstream_end: End = None
@@ -352,6 +355,13 @@ class StreamLender:
         sub.close_reason = end
         if is_error(end):
             self.stats.substreams_failed += 1
+            if self.on_trace is not None:
+                self.on_trace(
+                    "substream_failed",
+                    substream=sub.id,
+                    relent=len(sub.borrowed),
+                    error=repr(end),
+                )
         else:
             self.stats.substreams_closed += 1
         # Re-lend every value the sub-stream still held (conservative: they

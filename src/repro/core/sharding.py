@@ -84,6 +84,8 @@ class ShardedLender:
             lender_factory = StreamLender if ordered else UnorderedStreamLender
         self.ordered = ordered
         self.max_buffer = max_buffer
+        #: ``TraceLog.emit``-shaped hook; see :meth:`set_trace`
+        self.on_trace: Optional[Callable[..., object]] = None
         self._shards: List[StreamLender] = [lender_factory() for _ in range(shards)]
         self._branches: Optional[SplitBranches] = None
         self._output: Optional[Source] = None
@@ -126,6 +128,8 @@ class ShardedLender:
             raise ValueError(
                 f"shard index {shard} out of range (have {len(self._shards)} shards)"
             )
+        if self.on_trace is not None:
+            self.on_trace("shard_place", shard=shard)
 
         def tagged(err: Optional[BaseException], sub: Optional[SubStream]) -> None:
             if sub is not None:
@@ -133,6 +137,19 @@ class ShardedLender:
             cb(err, sub)
 
         return self._shards[shard].lend_stream(tagged)
+
+    def set_trace(self, emit: Callable[..., object]) -> None:
+        """Install *emit* (``TraceLog.emit``-shaped) across the composition.
+
+        Worker placements emit ``shard_place`` events here; every shard
+        lender's crash-stop failures emit ``substream_failed`` events tagged
+        with their shard index (sub-stream ids are only unique per shard).
+        """
+        self.on_trace = emit
+        for index, lender in enumerate(self._shards):
+            lender.on_trace = (
+                lambda kind, _shard=index, **fields: emit(kind, shard=_shard, **fields)
+            )
 
     def least_loaded_shard(self) -> int:
         """Index of the shard with the fewest **open** sub-streams.

@@ -95,6 +95,10 @@ class PandoMaster:
         self.distributed_map = DistributedMap(
             ordered=self.config.ordered, batch_size=self.config.batch_size
         )
+        # Fold the master's volunteer tallies into the map's stats snapshot,
+        # so stats().as_dict() reports the volunteer plane alongside the
+        # lender counters (simulated deployments have no ws gateway).
+        self.distributed_map.attach_volunteer_registry(self.registry)
         self.deployment: Optional[Deployment] = None
         self.local_url = f"http://{self.host}:{self.config.port}"
         self._started = False

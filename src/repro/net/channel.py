@@ -77,6 +77,9 @@ class ChannelEndpoint:
         self._close_listeners: List[Callable[[Optional[BaseException]], None]] = []
         self._receive_listeners: List[Callable[[Any], None]] = []
         self._heartbeats_enabled = heartbeats_enabled
+        #: a :class:`~repro.obs.TraceLog` when the deployment attached one;
+        #: heartbeat failures then emit heartbeat_suspicion trace events
+        self.trace: Optional[Any] = None
         self.heartbeat = HeartbeatMonitor(
             channel.scheduler,
             send=self._send_heartbeat,
@@ -256,6 +259,13 @@ class ChannelEndpoint:
             return
 
     def _on_heartbeat_failure(self) -> None:
+        if self.trace is not None:
+            self.trace.emit(
+                "heartbeat_suspicion",
+                peer=self.peer.label if self.peer else None,
+                endpoint=self.label,
+                timeout=self.heartbeat.timeout,
+            )
         self._shutdown(
             ConnectionClosed(
                 f"{self.label}: no heartbeat from {self.peer.label if self.peer else '?'} "

@@ -517,6 +517,10 @@ class _GatewayVolunteer:
         self.values_sent = 0
         self.results_received = 0
         self.task: Optional[asyncio.Task] = None
+        #: master-side frame traces awaiting this volunteer's RESULT echo,
+        #: keyed by frame_id — the wire copy was packed before serialize_s
+        #: was recorded, so the master's dict stays authoritative
+        self.inflight_traces: Dict[int, Dict[str, Any]] = {}
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         state = "lost" if self.close_reason is not None else "open"
@@ -611,6 +615,11 @@ class WsVolunteerGateway(EventSource):
         self.results_received = 0
         #: pings sent across all departed connections (liveness really ran)
         self.pings_sent = 0
+        #: websocket payload bytes sent to / received from volunteers
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        #: the owning map's observability plane (frame tracing), or None
+        self.obs = getattr(dmap, "obs", None)
 
     # ------------------------------------------------------------ lifecycle
     def start(self) -> str:
@@ -756,12 +765,28 @@ class WsVolunteerGateway(EventSource):
                         f"volunteer {volunteer.worker_id} connection closed"
                     )
                     break
+                self.bytes_received += len(payload)
                 record = unpack_wire_frame(payload)
                 kind = record.get("kind")
                 if kind == RESULT:
                     values = record.get("values", [])
                     volunteer.results_received += len(values)
                     self.results_received += len(values)
+                    echo = record.get("trace")
+                    if echo is not None and self.obs is not None:
+                        # The volunteer echoed the frame's trace dict back
+                        # with exec_s added: the frame is delivered now.
+                        # Merge exec_s into the master-side trace kept at
+                        # send time (it alone carries serialize_s); fall
+                        # back to the echo if the send never recorded one.
+                        trace = volunteer.inflight_traces.pop(
+                            echo.get("frame_id"), None
+                        )
+                        if trace is not None:
+                            trace["exec_s"] = echo.get("exec_s", 0.0)
+                        else:
+                            trace = echo
+                        self.obs.observe_frame(trace)
                     frame = Batch(values) if record.get("batched") else values[0]
                     volunteer.port.push(frame)
                 elif kind == TASK_ERROR:
@@ -815,6 +840,12 @@ class WsVolunteerGateway(EventSource):
         if volunteer.close_reason is not None:
             return
         self.suspicions += 1
+        if self.obs is not None:
+            self.obs.trace.emit(
+                "heartbeat_suspicion",
+                worker=volunteer.worker_id,
+                timeout=self.heartbeat_timeout,
+            )
         error = ConnectionClosed(
             f"volunteer {volunteer.worker_id} suspected: no traffic for "
             f"{self.heartbeat_timeout}s"
@@ -938,10 +969,20 @@ class WsVolunteerGateway(EventSource):
             values = list(frame.values) if batched else [frame]
             volunteer.seq += 1
             record = {"kind": DATA, "seq": volunteer.seq, "batched": batched}
+            trace = (
+                self.obs.begin_frame("ws", values=len(values))
+                if self.obs is not None
+                else None
+            )
+            if trace is not None:
+                # The trace dict rides the wire record; the volunteer echoes
+                # it back in the RESULT record with exec_s added.
+                record["trace"] = trace
             try:
-                conn.send_bytes(
-                    pack_wire_frame(record, values, oob_min_bytes=self.oob_min_bytes)
+                packed = pack_wire_frame(
+                    record, values, oob_min_bytes=self.oob_min_bytes
                 )
+                conn.send_bytes(packed)
             except Exception as exc:
                 # The socket died under the write: crash-stop.  The pump
                 # aborts the upstream through closed_reason on its next turn.
@@ -950,6 +991,11 @@ class WsVolunteerGateway(EventSource):
                         f"write to volunteer {volunteer.worker_id} failed: {exc!r}"
                     )
                 return
+            if trace is not None:
+                self.obs.end_serialize(trace)
+                self.obs.observe_payload("ws", len(packed))
+                volunteer.inflight_traces[trace["frame_id"]] = trace
+            self.bytes_sent += len(packed)
             volunteer.values_sent += len(values)
             self.values_sent += len(values)
             self.frames_sent += 1

@@ -1,0 +1,37 @@
+"""End-to-end observability plane: metrics, frame tracing, scrape endpoint.
+
+See :mod:`repro.obs.registry` (thread-safe counters/gauges/histograms with
+Prometheus text exposition), :mod:`repro.obs.trace` (the :class:`TraceLog`
+ring buffer and the per-frame tracer) and :mod:`repro.obs.http_endpoint`
+(the stdlib HTTP scrape server behind ``DistributedMap.serve_metrics``).
+"""
+
+from .http_endpoint import (
+    AsyncMetricsEndpoint,
+    ThreadedMetricsEndpoint,
+    serve_registry,
+)
+from .registry import (
+    DEFAULT_BYTES_BUCKETS,
+    DEFAULT_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .trace import Observability, TraceEvent, TraceLog
+
+__all__ = [
+    "AsyncMetricsEndpoint",
+    "Counter",
+    "DEFAULT_BYTES_BUCKETS",
+    "DEFAULT_SECONDS_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "ThreadedMetricsEndpoint",
+    "TraceEvent",
+    "TraceLog",
+    "serve_registry",
+]

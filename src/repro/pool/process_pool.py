@@ -102,6 +102,11 @@ class ProcessPoolWorker:
         *slot_count*, *slot_size* and *shm_min_bytes* tune the ring (slots
         per ring, bytes per slot, and the size below which a payload stays
         in-band); they require ``transport="shm"``.
+    obs:
+        An :class:`~repro.obs.Observability` plane (the owning map's).
+        When attached and enabled, every frame carries a trace dict in its
+        control metadata — the child measures user-function time, delivery
+        observes the per-frame overhead/compute histograms.
     """
 
     pull_role = "duplex"
@@ -117,6 +122,7 @@ class ProcessPoolWorker:
         slot_count: Optional[int] = None,
         slot_size: Optional[int] = None,
         shm_min_bytes: Optional[int] = None,
+        obs: Optional[Any] = None,
     ) -> None:
         self._validate_ref(fn_ref)
         if task_timeout is not None and not blocking:
@@ -142,6 +148,8 @@ class ProcessPoolWorker:
         self.task_timeout = task_timeout
         self.blocking = blocking
         self.transport = transport
+        #: the owning map's observability plane (frame tracing), or None
+        self.obs = obs
         #: the shared-memory payload ring (``transport="shm"`` only)
         self.ring: Optional[ShmRing] = None
         self._shm_min_bytes = shm_min_bytes
@@ -155,9 +163,9 @@ class ProcessPoolWorker:
         self._executor: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
             max_workers=self.processes, mp_context=mp_context
         )
-        #: (future, was_batch, ring slots owned by the frame) in submission
-        #: (= borrow) order
-        self._pending: Deque[Tuple[Future, bool, List[int]]] = deque()
+        #: (future, was_batch, ring slots owned by the frame, frame trace)
+        #: in submission (= borrow) order
+        self._pending: Deque[Tuple[Future, bool, List[int], Optional[dict]]] = deque()
         self._upstream_ended: End = None
         self._result_waiting: Optional[Callback] = None
         self._closed: End = None
@@ -206,6 +214,13 @@ class ProcessPoolWorker:
         assert self._executor is not None
         was_batch = isinstance(value, Batch)
         values = list(value.values) if was_batch else None
+        trace = (
+            self.obs.begin_frame(
+                self.transport, values=len(values) if was_batch else 1
+            )
+            if self.obs is not None
+            else None
+        )
         if self.ring is not None:
             min_bytes = (
                 self._shm_min_bytes if self._shm_min_bytes is not None else OOB_MIN_BYTES
@@ -222,6 +237,7 @@ class ProcessPoolWorker:
                         self.ring.slot_size,
                         entries,
                         min_bytes,
+                        trace,
                     )
                 else:
                     future = self._executor.submit(
@@ -231,17 +247,25 @@ class ProcessPoolWorker:
                         self.ring.slot_size,
                         entries[0],
                         min_bytes,
+                        trace,
                     )
             except Exception:
                 self.ring.release_all(slots)
                 raise
-            self._pending.append((future, was_batch, slots))
+            if trace is not None:
+                self.obs.observe_payload(
+                    self.transport,
+                    sum(entry[2] for entry in entries if entry[0] == "shm"),
+                )
+            self._pending.append((future, was_batch, slots, trace))
         elif was_batch:
-            future = self._executor.submit(run_batch, self.fn_ref, values)
-            self._pending.append((future, True, []))
+            future = self._executor.submit(run_batch, self.fn_ref, values, trace)
+            self._pending.append((future, True, [], trace))
         else:
-            future = self._executor.submit(run_task, self.fn_ref, value)
-            self._pending.append((future, False, []))
+            future = self._executor.submit(run_task, self.fn_ref, value, trace)
+            self._pending.append((future, False, [], trace))
+        if trace is not None:
+            self.obs.end_serialize(trace)
         self.values_dispatched += len(values) if was_batch else 1
         self.tasks_submitted += 1
         if self._result_waiting is not None:
@@ -285,7 +309,7 @@ class ProcessPoolWorker:
 
     def _deliver(self, cb: Callback) -> None:
         """Block on the oldest pending future and answer with its result."""
-        future, was_batch, slots = self._pending.popleft()
+        future, was_batch, slots, trace = self._pending.popleft()
         try:
             result = future.result(timeout=self.task_timeout)
         except (Exception, CancelledError) as exc:
@@ -302,6 +326,14 @@ class ProcessPoolWorker:
             self._shutdown(error)
             cb(error, None)
             return
+        if trace is not None:
+            # The child answered with the traced shape: (payload, trace).
+            # Only the child-measured exec_s duration is taken from its
+            # copy — the master's dict stays authoritative, because the
+            # child's copy was pickled at submit time, before the master
+            # recorded serialize_s.
+            result, child_trace = result
+            trace["exec_s"] = child_trace.get("exec_s", 0.0)
         if self.ring is not None:
             # Copy the payloads out, then release the frame's slots — the
             # "release on result read" half of the slot-ownership protocol.
@@ -309,6 +341,8 @@ class ProcessPoolWorker:
             self.ring.release_all(slots)
             result = decoded if was_batch else decoded[0]
         self.results_returned += len(result) if was_batch else 1
+        if trace is not None:
+            self.obs.observe_frame(trace)
         cb(None, Batch(result) if was_batch else result)
 
     def _termination(self) -> End:
@@ -390,10 +424,10 @@ class ProcessPoolWorker:
         """
         if not force and self._closed is None:
             return 0
-        kept: Deque[Tuple[Future, bool, List[int]]] = deque()
+        kept: Deque[Tuple[Future, bool, List[int], Optional[dict]]] = deque()
         cancelled = 0
         while self._pending:
-            future, was_batch, slots = self._pending.popleft()
+            future, was_batch, slots, trace = self._pending.popleft()
             if future.cancel():
                 cancelled += 1
                 # A cancelled task never ran, so its payload slots can never
@@ -401,7 +435,7 @@ class ProcessPoolWorker:
                 if self.ring is not None:
                     self.ring.release_all(slots)
             else:
-                kept.append((future, was_batch, slots))
+                kept.append((future, was_batch, slots, trace))
         self._pending = kept
         self.tasks_cancelled += cancelled
         if (
@@ -443,7 +477,7 @@ class ProcessPoolWorker:
             self._closed = reason if reason is not None else DONE
         executor, self._executor = self._executor, None
         if executor is not None:
-            for future, _was_batch, _slots in self._pending:
+            for future, _was_batch, _slots, _trace in self._pending:
                 if future.cancel():
                     self.tasks_cancelled += 1
             # cancel_futures reaps work items that future.cancel() cannot
@@ -455,7 +489,7 @@ class ProcessPoolWorker:
             # Reap every frame's slots — delivered frames already released
             # theirs, and nothing after shutdown can consume the rest — then
             # drop the block.  The counters stay readable for leak checks.
-            for _future, _was_batch, slots in self._pending:
+            for _future, _was_batch, slots, _trace in self._pending:
                 self.ring.release_all(slots)
             self.ring.close()
         self._pending.clear()

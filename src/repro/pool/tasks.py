@@ -26,7 +26,8 @@ from __future__ import annotations
 
 import importlib
 import inspect
-from typing import Any, Callable, List, Tuple, Union
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..analysis.annotations import any_thread
 from ..errors import PandoError
@@ -143,39 +144,73 @@ def _apply(fn: Callable[..., Any], node_style: bool, value: Any) -> Any:
 
 
 @any_thread
-def run_task(ref: FunctionRef, value: Any) -> Any:
-    """Executor entry point: apply the referenced function to one value."""
+def run_task(
+    ref: FunctionRef, value: Any, trace: Optional[Dict[str, Any]] = None
+) -> Any:
+    """Executor entry point: apply the referenced function to one value.
+
+    With a *trace* dict (frame control metadata, see
+    :class:`~repro.obs.trace.Observability`), the time spent inside the
+    user function is measured and the return shape becomes
+    ``(result, trace)`` with ``exec_s`` added — a duration, never a
+    timestamp, because child and master clocks are not comparable.
+    """
     fn, node_style = _prepared(ref)
-    return _apply(fn, node_style, value)
+    if trace is None:
+        return _apply(fn, node_style, value)
+    start = time.perf_counter()
+    result = _apply(fn, node_style, value)
+    return result, dict(trace, exec_s=time.perf_counter() - start)
 
 
 @any_thread
-def run_batch(ref: FunctionRef, values: List[Any]) -> List[Any]:
+def run_batch(
+    ref: FunctionRef, values: List[Any], trace: Optional[Dict[str, Any]] = None
+) -> Any:
     """Executor entry point: apply the referenced function to a whole frame.
 
     One submission per frame is what amortises the inter-process round trip;
-    results come back as a list in input order.
+    results come back as a list in input order — or, with a *trace* dict,
+    as ``(results, trace)`` with the frame's summed ``exec_s`` added.
     """
     fn, node_style = _prepared(ref)
-    return [_apply(fn, node_style, value) for value in values]
+    if trace is None:
+        return [_apply(fn, node_style, value) for value in values]
+    start = time.perf_counter()
+    out = [_apply(fn, node_style, value) for value in values]
+    return out, dict(trace, exec_s=time.perf_counter() - start)
 
 
 @any_thread
 def run_shm_task(
-    ref: FunctionRef, ring_name: str, slot_size: int, entry: Any, min_bytes: int
+    ref: FunctionRef,
+    ring_name: str,
+    slot_size: int,
+    entry: Any,
+    min_bytes: int,
+    trace: Optional[Dict[str, Any]] = None,
 ) -> Any:
     """Executor entry point for one shared-memory-framed value.
 
     The payload arrives as a control entry pointing into the master's
     :class:`~repro.net.shm_ring.ShmRing` (or inline, the fallback); the
     result travels back the same way, through the frame's slot — only the
-    tiny control records cross the executor pipe.
+    tiny control records cross the executor pipe.  A *trace* dict times
+    only the user function (slot loads/stores are transport overhead) and
+    switches the return shape to ``(entry, trace)``.
     """
     from ..net.shm_ring import load_entry, store_entry
 
     fn, node_style = _prepared(ref)
-    result = _apply(fn, node_style, load_entry(ring_name, slot_size, entry))
-    return store_entry(ring_name, slot_size, entry, result, min_bytes=min_bytes)
+    value = load_entry(ring_name, slot_size, entry)
+    if trace is None:
+        result = _apply(fn, node_style, value)
+        return store_entry(ring_name, slot_size, entry, result, min_bytes=min_bytes)
+    start = time.perf_counter()
+    result = _apply(fn, node_style, value)
+    exec_s = time.perf_counter() - start
+    out = store_entry(ring_name, slot_size, entry, result, min_bytes=min_bytes)
+    return out, dict(trace, exec_s=exec_s)
 
 
 @any_thread
@@ -185,18 +220,30 @@ def run_shm_batch(
     slot_size: int,
     entries: List[Any],
     min_bytes: int,
-) -> List[Any]:
+    trace: Optional[Dict[str, Any]] = None,
+) -> Any:
     """Executor entry point for a shared-memory-framed batch.
 
     Values are applied in order; each result is written back into its own
     input's slot before the next value is touched, so a frame never needs
-    more slots than its submission acquired.
+    more slots than its submission acquired.  A *trace* dict accumulates
+    the user-function time across the frame (``exec_s``) and switches the
+    return shape to ``(entries, trace)``.
     """
     from ..net.shm_ring import load_entry, store_entry
 
     fn, node_style = _prepared(ref)
     out: List[Any] = []
+    exec_s = 0.0
     for entry in entries:
-        result = _apply(fn, node_style, load_entry(ring_name, slot_size, entry))
+        value = load_entry(ring_name, slot_size, entry)
+        if trace is None:
+            result = _apply(fn, node_style, value)
+        else:
+            start = time.perf_counter()
+            result = _apply(fn, node_style, value)
+            exec_s += time.perf_counter() - start
         out.append(store_entry(ring_name, slot_size, entry, result, min_bytes=min_bytes))
-    return out
+    if trace is None:
+        return out
+    return out, dict(trace, exec_s=exec_s)

@@ -75,6 +75,11 @@ class EventLoopScheduler:
         self.dispatches = 0
         self.wakeups = 0
         self.cancellations = 0
+        #: pump stalls diagnosed (each one raised a PandoError to the caller)
+        self.stalls = 0
+        #: a :class:`~repro.obs.TraceLog` when the owning map attached one;
+        #: the pump emits pump_timeout/pump_stall/abort_fanout events to it
+        self.trace: Optional[Any] = None
 
     # ------------------------------------------------------------ registry
     def register(self, source: EventSource) -> EventSource:

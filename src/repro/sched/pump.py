@@ -68,15 +68,20 @@ async def async_pump(
     for sink in sinks:
         sink.on_done(lambda _sink: scheduler.wake())
 
+    trace = getattr(scheduler, "trace", None)
+
     def fan_out_cancellation() -> bool:
         nonlocal cancelled
         if cancelled or aborted is None or not aborted():
             return cancelled
         cancelled = True
         if on_abort is not None:
-            scheduler.cancellations += on_abort()
+            count = on_abort()
+            scheduler.cancellations += count
         else:
-            scheduler.cancel_pools(force=True)
+            count = scheduler.cancel_pools(force=True)
+        if trace is not None:
+            trace.emit("abort_fanout", cancelled=count)
         return True
 
     try:
@@ -85,6 +90,12 @@ async def async_pump(
             # it: with a strict ``>`` (and a coarse monotonic clock),
             # ``timeout=0`` could never fire on the first round.
             if deadline is not None and time.monotonic() >= deadline:
+                if trace is not None:
+                    trace.emit(
+                        "pump_timeout",
+                        timeout=timeout,
+                        pending=sum(1 for sink in sinks if not sink.done),
+                    )
                 raise PandoError("EventLoopScheduler.run timed out")
             fan_out_cancellation()
             if scheduler.dispatch_round() > 0:
@@ -103,6 +114,13 @@ async def async_pump(
             if scheduler._any_ready():
                 continue
             if not scheduler._any_live():
+                scheduler.stalls += 1
+                if trace is not None:
+                    trace.emit(
+                        "pump_stall",
+                        sources=len(scheduler.sources),
+                        pending=sum(1 for sink in sinks if not sink.done),
+                    )
                 raise PandoError(
                     "EventLoopScheduler stalled: a sink has not completed and "
                     "no registered source can make progress (is every shard "

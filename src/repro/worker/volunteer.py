@@ -276,6 +276,12 @@ async def _volunteer_session(
                 record, future = item
                 try:
                     values = await future
+                    if record.get("trace") is not None:
+                        # run_batch answered the traced shape: echo the trace
+                        # (now carrying exec_s) back in the RESULT record.
+                        values, trace_out = values
+                    else:
+                        trace_out = None
                 except Exception as exc:
                     report.error = f"task failed: {exc!r}"
                     with suppress(Exception):
@@ -286,16 +292,14 @@ async def _volunteer_session(
                     conn.close_transport()
                     return
                 try:
-                    conn.send_bytes(
-                        pack_wire_frame(
-                            {
-                                "kind": RESULT,
-                                "seq": record.get("seq"),
-                                "batched": record.get("batched", False),
-                            },
-                            values,
-                        )
-                    )
+                    result_record = {
+                        "kind": RESULT,
+                        "seq": record.get("seq"),
+                        "batched": record.get("batched", False),
+                    }
+                    if trace_out is not None:
+                        result_record["trace"] = trace_out
+                    conn.send_bytes(pack_wire_frame(result_record, values))
                     await conn.drain()
                 except Exception as exc:
                     if report.error is None:
@@ -316,7 +320,9 @@ async def _volunteer_session(
                     kind = record.get("kind")
                     if kind == DATA:
                         values = record.get("values", [])
-                        future = loop.run_in_executor(executor, run_batch, ref, values)
+                        future = loop.run_in_executor(
+                            executor, run_batch, ref, values, record.get("trace")
+                        )
                         await results.put((record, future))
                         submitted += 1
                         if max_frames is not None and submitted >= max_frames:

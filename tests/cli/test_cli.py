@@ -244,3 +244,27 @@ class TestPoolTransportFlag:
     def test_default_is_pipe(self):
         args = build_parser().parse_args(["--app", "collatz"])
         assert args.pool_transport == "pipe"
+
+
+class TestObservabilityFlags:
+    def test_metrics_port_and_stats_json(self, capsys):
+        code = main(["--app", "collatz", "--count", "4", "--workers", "2",
+                     "--metrics-port", "0", "--stats-json"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert len(captured.out.strip().splitlines()) == 4
+        assert "Serving metrics at http://127.0.0.1:" in captured.err
+        snapshot_lines = [line for line in captured.err.splitlines()
+                          if line.startswith("{")]
+        assert len(snapshot_lines) == 1
+        snapshot = json.loads(snapshot_lines[0])
+        assert snapshot["pando_frames_total"]["type"] == "counter"
+        assert "pando_lender_values_read_total" in snapshot
+
+    def test_defaults_leave_observability_quiet(self, capsys):
+        code = main(["--app", "collatz", "--count", "2"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Serving metrics" not in captured.err
+        assert not [line for line in captured.err.splitlines()
+                    if line.startswith("{")]

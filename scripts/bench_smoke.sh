@@ -17,4 +17,5 @@ python -m pytest \
     benchmarks/bench_shm_transport.py \
     benchmarks/bench_ws_transport.py \
     benchmarks/bench_obs_overhead.py \
+    benchmarks/bench_matrix_scale.py \
     -q --benchmark-disable "$@"

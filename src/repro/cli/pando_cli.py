@@ -308,6 +308,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from ..worker.volunteer import main as volunteer_main
 
         return volunteer_main(argv[1:])
+    if argv and argv[0] == "simulate":
+        # ``pando simulate --matrix ...`` runs the scenario-matrix cells in
+        # virtual time and verifies their invariants
+        from ..sim.matrix import main as matrix_main
+
+        return matrix_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     stderr = sys.stderr

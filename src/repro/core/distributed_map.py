@@ -364,6 +364,7 @@ class DistributedMap:
         slot_count: Optional[int] = None,
         slot_size: Optional[int] = None,
         shm_min_bytes: Optional[int] = None,
+        cancel_chunk: Optional[int] = None,
     ) -> WorkerHandle:
         """Attach a pool of OS processes executing *fn_ref* in parallel.
 
@@ -394,6 +395,11 @@ class DistributedMap:
         executor pipe (see
         :class:`~repro.pool.process_pool.ProcessPoolWorker`); *slot_count*,
         *slot_size* and *shm_min_bytes* tune the ring.
+
+        ``cancel_chunk`` bounds the post-abort tail: frames poll a shared
+        stop flag every *cancel_chunk* values, so the cancellation fan-out
+        of :meth:`drive` also stops frames that are already running — at
+        their next chunk boundary instead of after the whole batch.
         """
         from ..pool import ProcessPoolWorker, default_window
 
@@ -413,6 +419,7 @@ class DistributedMap:
             slot_size=slot_size,
             shm_min_bytes=shm_min_bytes,
             obs=self.obs,
+            cancel_chunk=cancel_chunk,
         )
         try:
             frame = batch_size if batch_size is not None else self.batch_size

@@ -11,6 +11,7 @@ the failure mode Pando tolerates (paper section 2.3).
 from __future__ import annotations
 
 import itertools
+import math
 from collections import deque
 from typing import Any, Callable, Deque, List, Optional, Tuple
 
@@ -59,6 +60,15 @@ class SimDevice:
         self.cores = [CoreSlot(i) for i in range(cores or profile.cores)]
         self.crashed = False
         self.crashed_at: Optional[float] = None
+        #: duration multiplier; > 1 makes the device a straggler
+        self.speed_factor = 1.0
+        #: work units per execution chunk; ``None`` runs tasks in one piece
+        self.task_chunk: Optional[float] = None
+        #: polled between chunks (and before starting a task); True abandons
+        #: the task without calling back — the bounded-tail cancellation hook
+        self.stop_check: Optional[Callable[[], bool]] = None
+        self.tasks_stopped = 0
+        self.last_completion_at: Optional[float] = None
         self._queue: Deque[Tuple[str, float, CompletionCallback]] = deque()
         self._pending_events: List[ScheduledEvent] = []
         self._crash_listeners: List[Callable[["SimDevice"], None]] = []
@@ -95,8 +105,16 @@ class SimDevice:
         """Duration of a task, falling back to :attr:`default_rate` for
         applications absent from the calibrated profile."""
         if self.profile.supports(application):
-            return self.profile.task_duration(application, cost)
-        return cost / self.default_rate
+            base = self.profile.task_duration(application, cost)
+        else:
+            base = cost / self.default_rate
+        return base * self.speed_factor
+
+    def set_speed_factor(self, factor: float) -> None:
+        """Change the duration multiplier for tasks started from now on."""
+        if factor <= 0:
+            raise ValueError("speed factor must be positive")
+        self.speed_factor = factor
 
     def _start(
         self,
@@ -105,20 +123,45 @@ class SimDevice:
         cost: float,
         callback: CompletionCallback,
     ) -> None:
+        if self.stop_check is not None and self.stop_check():
+            # A stopped scenario abandons the task: never calling back is the
+            # point — nobody downstream wants the result.
+            self.tasks_stopped += 1
+            return  # pando-lint: ignore[callback-discipline]
         duration = self.task_duration(application, cost)
+        chunks = 1
+        if self.task_chunk is not None and cost > self.task_chunk:
+            chunks = math.ceil(cost / self.task_chunk)
+        chunk_duration = duration / chunks
         core.busy = True
         core.busy_until = self.scheduler.now + duration
+        remaining = chunks
 
-        def complete() -> None:
+        def step() -> None:
+            nonlocal remaining
             if self.crashed:
+                return
+            remaining -= 1
+            core.busy_time += chunk_duration
+            if remaining > 0:
+                if self.stop_check is not None and self.stop_check():
+                    # Abandon between chunks: the core frees immediately and
+                    # the task never calls back — this is what bounds the
+                    # post-abort tail to at most one chunk of virtual time.
+                    core.busy = False
+                    self.tasks_stopped += 1
+                    self._drain_queue()
+                    return
+                event = self.scheduler.call_later(chunk_duration, step)
+                self._pending_events.append(event)
                 return
             core.busy = False
             core.tasks_completed += 1
-            core.busy_time += duration
+            self.last_completion_at = self.scheduler.now
             callback(None, duration)
             self._drain_queue()
 
-        event = self.scheduler.call_later(duration, complete)
+        event = self.scheduler.call_later(chunk_duration, step)
         self._pending_events.append(event)
 
     def _drain_queue(self) -> None:

@@ -43,6 +43,22 @@ class WorkerCrashed(PandoError):
         self.worker_id = worker_id
 
 
+class FrameCancelled(PandoError):
+    """A pool task stopped mid-frame because the cancel flag was raised.
+
+    Raised child-side between chunks (see :mod:`repro.pool.cancel`); the
+    master only ever observes it on frames whose results are already
+    undeliverable (the stream aborted), so it is bookkeeping, not failure.
+    """
+
+    def __init__(self, completed: int, total: int) -> None:
+        super().__init__(
+            f"frame cancelled after {completed}/{total} values"
+        )
+        self.completed = completed
+        self.total = total
+
+
 class ConnectionClosed(PandoError):
     """A simulated WebSocket/WebRTC channel was closed or lost its heartbeat."""
 

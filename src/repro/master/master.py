@@ -16,7 +16,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from ..core.distributed_map import DistributedMap, WorkerHandle
 from ..devices.profiles import MASTER_DEVICE, DeviceProfile
-from ..errors import DeploymentError
+from ..errors import DeploymentError, PandoError
 from ..net.channel import SimChannel
 from ..net.signaling import Deployment, PublicServer
 from ..net.webrtc import WebRTCConnection
@@ -48,6 +48,10 @@ class MasterConfig:
     port: int = 5000
     heartbeat_interval: float = 1.0
     heartbeat_timeout: float = 3.0
+    #: number of independent lender shards (``--shards``); 1 = single master
+    shards: int = 1
+    #: bounded split buffer per shard (requires ``shards > 1``)
+    split_buffer: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.transport not in TRANSPORTS:
@@ -56,6 +60,8 @@ class MasterConfig:
             )
         if self.batch_size < 1:
             raise DeploymentError("batch_size must be >= 1")
+        if self.shards < 1:
+            raise DeploymentError("shards must be >= 1")
 
 
 class PandoMaster:
@@ -80,6 +86,7 @@ class PandoMaster:
         metrics: Optional[MetricsCollector] = None,
         host: str = "master",
         device: DeviceProfile = MASTER_DEVICE,
+        event_scheduler: Optional[Any] = None,
     ) -> None:
         self.bundle: Bundle = (
             bundle if isinstance(bundle, Bundle) else bundle_function(bundle)
@@ -92,8 +99,15 @@ class PandoMaster:
         self.host = host
         self.device = device
         self.registry = VolunteerRegistry()
+        # event_scheduler is the map's EventLoopScheduler (the async pump
+        # driving non-blocking pools and SimEventSources); `scheduler` above
+        # is the discrete-event simulation clock — different planes.
         self.distributed_map = DistributedMap(
-            ordered=self.config.ordered, batch_size=self.config.batch_size
+            ordered=self.config.ordered,
+            batch_size=self.config.batch_size,
+            shards=self.config.shards,
+            split_buffer=self.config.split_buffer,
+            scheduler=event_scheduler,
         )
         # Fold the master's volunteer tallies into the map's stats snapshot,
         # so stats().as_dict() reports the volunteer plane alongside the
@@ -209,11 +223,23 @@ class PandoMaster:
                 )
                 return
             worker_id = f"{volunteer.device.name}#{tab_index}"
-            handle = self.distributed_map.add_channel(
-                channel.local.duplex,
-                worker_id=worker_id,
-                batch_size=self.config.batch_size,
-            )
+            try:
+                handle = self.distributed_map.add_channel(
+                    channel.local.duplex,
+                    worker_id=worker_id,
+                    batch_size=self.config.batch_size,
+                )
+            except PandoError:
+                # The job terminated (completed or was aborted) while this
+                # tab was still connecting — an early find() hit beats a
+                # high-latency WAN handshake.  Turn the late volunteer away
+                # instead of letting the error escape the event loop.
+                self._log.append(
+                    f"[{self.scheduler.now:10.3f}] worker {worker_id} "
+                    f"connected after the job terminated; turned away"
+                )
+                channel.local.close("job-terminated")
+                return
             channel.local.on_close(
                 lambda reason: self._on_channel_closed(record, reason)
             )

@@ -80,6 +80,9 @@ class TraceLog:
         self.capacity = capacity
         self._events: Deque[TraceEvent] = deque(maxlen=capacity)
         self._lock = threading.Lock()
+        #: rotation-proof per-kind emission totals (the ring drops old
+        #: events; balance checks need the lifetime counts)
+        self._totals: Dict[str, int] = {}
         self._counter = (
             registry.counter(
                 "pando_trace_events_total",
@@ -95,9 +98,22 @@ class TraceLog:
         event = TraceEvent(kind, time.monotonic(), fields)
         with self._lock:
             self._events.append(event)
+            self._totals[kind] = self._totals.get(kind, 0) + 1
         if self._counter is not None:
             self._counter.inc(kind=kind)
         return event
+
+    @any_thread
+    def count(self, kind: str) -> int:
+        """Lifetime number of *kind* events emitted (rotation-proof)."""
+        with self._lock:
+            return self._totals.get(kind, 0)
+
+    @any_thread
+    def counts(self) -> Dict[str, int]:
+        """Lifetime per-kind emission totals (rotation-proof)."""
+        with self._lock:
+            return dict(self._totals)
 
     @any_thread
     def events(self, kind: Optional[str] = None) -> List[TraceEvent]:

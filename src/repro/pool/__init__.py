@@ -9,6 +9,7 @@ wires a :class:`ProcessPoolWorker` through the standard
 Limiter/batching/sub-stream composition.
 """
 
+from .cancel import CancelFlag, flag_is_set
 from .process_pool import ProcessPoolWorker, default_window
 from .tasks import (
     FunctionRef,
@@ -22,6 +23,8 @@ from .tasks import (
 from . import workloads
 
 __all__ = [
+    "CancelFlag",
+    "flag_is_set",
     "ProcessPoolWorker",
     "default_window",
     "FunctionRef",

@@ -57,6 +57,7 @@ from ..net.serialization import OOB_MIN_BYTES, Batch
 from ..net.shm_ring import ShmRing, pack_frame, unpack_frame
 from ..pullstream.protocol import DONE, Callback, End, Source, is_error
 from ..pullstream.sinks import eager_pump
+from .cancel import CancelFlag
 from .tasks import (
     FunctionRef,
     resolve_callable,
@@ -107,6 +108,12 @@ class ProcessPoolWorker:
         When attached and enabled, every frame carries a trace dict in its
         control metadata — the child measures user-function time, delivery
         observes the per-frame overhead/compute histograms.
+    cancel_chunk:
+        Bounded-tail cancellation: when set, every frame carries the name of
+        a shared :class:`~repro.pool.cancel.CancelFlag` which the child
+        polls every *cancel_chunk* values.  A forced cancellation fan-out
+        (or shutdown) raises the flag, so a frame already running stops at
+        its next chunk boundary instead of computing the whole batch.
     """
 
     pull_role = "duplex"
@@ -123,8 +130,11 @@ class ProcessPoolWorker:
         slot_size: Optional[int] = None,
         shm_min_bytes: Optional[int] = None,
         obs: Optional[Any] = None,
+        cancel_chunk: Optional[int] = None,
     ) -> None:
         self._validate_ref(fn_ref)
+        if cancel_chunk is not None and cancel_chunk < 1:
+            raise PandoError("cancel_chunk must be at least one value")
         if task_timeout is not None and not blocking:
             raise PandoError(
                 "task_timeout requires a blocking pool source: the "
@@ -160,6 +170,11 @@ class ProcessPoolWorker:
             if slot_size is not None:
                 ring_kwargs["slot_size"] = slot_size
             self.ring = ShmRing(**ring_kwargs)
+        self.cancel_chunk = cancel_chunk
+        #: the shared stop flag frames poll between chunks, or None
+        self.cancel_flag: Optional[CancelFlag] = (
+            CancelFlag() if cancel_chunk is not None else None
+        )
         self._executor: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
             max_workers=self.processes, mp_context=mp_context
         )
@@ -221,6 +236,11 @@ class ProcessPoolWorker:
             if self.obs is not None
             else None
         )
+        cancel = (
+            (self.cancel_flag.name, self.cancel_chunk)
+            if self.cancel_flag is not None
+            else None
+        )
         if self.ring is not None:
             min_bytes = (
                 self._shm_min_bytes if self._shm_min_bytes is not None else OOB_MIN_BYTES
@@ -238,6 +258,7 @@ class ProcessPoolWorker:
                         entries,
                         min_bytes,
                         trace,
+                        cancel,
                     )
                 else:
                     future = self._executor.submit(
@@ -248,6 +269,7 @@ class ProcessPoolWorker:
                         entries[0],
                         min_bytes,
                         trace,
+                        cancel,
                     )
             except Exception:
                 self.ring.release_all(slots)
@@ -259,10 +281,14 @@ class ProcessPoolWorker:
                 )
             self._pending.append((future, was_batch, slots, trace))
         elif was_batch:
-            future = self._executor.submit(run_batch, self.fn_ref, values, trace)
+            future = self._executor.submit(
+                run_batch, self.fn_ref, values, trace, cancel
+            )
             self._pending.append((future, True, [], trace))
         else:
-            future = self._executor.submit(run_task, self.fn_ref, value, trace)
+            future = self._executor.submit(
+                run_task, self.fn_ref, value, trace, cancel
+            )
             self._pending.append((future, False, [], trace))
         if trace is not None:
             self.obs.end_serialize(trace)
@@ -424,6 +450,11 @@ class ProcessPoolWorker:
         """
         if not force and self._closed is None:
             return 0
+        if self.cancel_flag is not None:
+            # Raise the shared flag first: the frames already *running* are
+            # beyond future.cancel(), but they poll this between chunks —
+            # the bounded-tail half of the fan-out.
+            self.cancel_flag.set()
         kept: Deque[Tuple[Future, bool, List[int], Optional[dict]]] = deque()
         cancelled = 0
         while self._pending:
@@ -475,6 +506,12 @@ class ProcessPoolWorker:
     def _shutdown(self, reason: End) -> None:
         if self._closed is None:
             self._closed = reason if reason is not None else DONE
+        if self.cancel_flag is not None:
+            # Set-then-unlink: children already attached read the raised
+            # byte through their existing mapping; children attaching after
+            # the unlink treat the missing block as raised.
+            self.cancel_flag.set()
+            self.cancel_flag.close()
         executor, self._executor = self._executor, None
         if executor is not None:
             for future, _was_batch, _slots, _trace in self._pending:

@@ -30,7 +30,8 @@ import time
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..analysis.annotations import any_thread
-from ..errors import PandoError
+from ..errors import FrameCancelled, PandoError
+from .cancel import flag_is_set
 
 __all__ = [
     "FunctionRef",
@@ -121,6 +122,21 @@ def _prepared(ref: FunctionRef) -> Tuple[Callable[..., Any], bool]:
     return prepared
 
 
+def _check_cancel(cancel: Optional[Tuple[str, int]], index: int, total: int) -> None:
+    """Poll the pool's cancel flag at chunk boundaries of a frame.
+
+    *cancel* is ``(flag_name, chunk)`` — see :mod:`repro.pool.cancel`.  The
+    poll runs before value 0 (a frame that dequeues after the abort does no
+    work at all) and then every *chunk* values, so a running frame computes
+    at most one more chunk after the master raises the flag.
+    """
+    if cancel is None:
+        return
+    flag_name, chunk = cancel
+    if index % chunk == 0 and flag_is_set(flag_name):
+        raise FrameCancelled(completed=index, total=total)
+
+
 def _apply(fn: Callable[..., Any], node_style: bool, value: Any) -> Any:
     if not node_style:
         return fn(value)
@@ -145,7 +161,10 @@ def _apply(fn: Callable[..., Any], node_style: bool, value: Any) -> Any:
 
 @any_thread
 def run_task(
-    ref: FunctionRef, value: Any, trace: Optional[Dict[str, Any]] = None
+    ref: FunctionRef,
+    value: Any,
+    trace: Optional[Dict[str, Any]] = None,
+    cancel: Optional[Tuple[str, int]] = None,
 ) -> Any:
     """Executor entry point: apply the referenced function to one value.
 
@@ -154,8 +173,11 @@ def run_task(
     user function is measured and the return shape becomes
     ``(result, trace)`` with ``exec_s`` added — a duration, never a
     timestamp, because child and master clocks are not comparable.
+    *cancel* is polled once before the value runs (a single-value frame is
+    one chunk).
     """
     fn, node_style = _prepared(ref)
+    _check_cancel(cancel, 0, 1)
     if trace is None:
         return _apply(fn, node_style, value)
     start = time.perf_counter()
@@ -165,19 +187,30 @@ def run_task(
 
 @any_thread
 def run_batch(
-    ref: FunctionRef, values: List[Any], trace: Optional[Dict[str, Any]] = None
+    ref: FunctionRef,
+    values: List[Any],
+    trace: Optional[Dict[str, Any]] = None,
+    cancel: Optional[Tuple[str, int]] = None,
 ) -> Any:
     """Executor entry point: apply the referenced function to a whole frame.
 
     One submission per frame is what amortises the inter-process round trip;
     results come back as a list in input order — or, with a *trace* dict,
-    as ``(results, trace)`` with the frame's summed ``exec_s`` added.
+    as ``(results, trace)`` with the frame's summed ``exec_s`` added.  With
+    *cancel* the frame's value range is chunked against the pool's cancel
+    flag and stops between chunks (:class:`~repro.errors.FrameCancelled`).
     """
     fn, node_style = _prepared(ref)
-    if trace is None:
+    total = len(values)
+    if trace is None and cancel is None:
         return [_apply(fn, node_style, value) for value in values]
     start = time.perf_counter()
-    out = [_apply(fn, node_style, value) for value in values]
+    out: List[Any] = []
+    for index, value in enumerate(values):
+        _check_cancel(cancel, index, total)
+        out.append(_apply(fn, node_style, value))
+    if trace is None:
+        return out
     return out, dict(trace, exec_s=time.perf_counter() - start)
 
 
@@ -189,6 +222,7 @@ def run_shm_task(
     entry: Any,
     min_bytes: int,
     trace: Optional[Dict[str, Any]] = None,
+    cancel: Optional[Tuple[str, int]] = None,
 ) -> Any:
     """Executor entry point for one shared-memory-framed value.
 
@@ -197,11 +231,13 @@ def run_shm_task(
     result travels back the same way, through the frame's slot — only the
     tiny control records cross the executor pipe.  A *trace* dict times
     only the user function (slot loads/stores are transport overhead) and
-    switches the return shape to ``(entry, trace)``.
+    switches the return shape to ``(entry, trace)``.  *cancel* is polled
+    once before the value runs.
     """
     from ..net.shm_ring import load_entry, store_entry
 
     fn, node_style = _prepared(ref)
+    _check_cancel(cancel, 0, 1)
     value = load_entry(ring_name, slot_size, entry)
     if trace is None:
         result = _apply(fn, node_style, value)
@@ -221,6 +257,7 @@ def run_shm_batch(
     entries: List[Any],
     min_bytes: int,
     trace: Optional[Dict[str, Any]] = None,
+    cancel: Optional[Tuple[str, int]] = None,
 ) -> Any:
     """Executor entry point for a shared-memory-framed batch.
 
@@ -228,14 +265,18 @@ def run_shm_batch(
     input's slot before the next value is touched, so a frame never needs
     more slots than its submission acquired.  A *trace* dict accumulates
     the user-function time across the frame (``exec_s``) and switches the
-    return shape to ``(entries, trace)``.
+    return shape to ``(entries, trace)``.  With *cancel* the entry range is
+    chunked against the pool's cancel flag like :func:`run_batch`; the
+    master releases the frame's slots when the cancellation surfaces.
     """
     from ..net.shm_ring import load_entry, store_entry
 
     fn, node_style = _prepared(ref)
     out: List[Any] = []
     exec_s = 0.0
-    for entry in entries:
+    total = len(entries)
+    for index, entry in enumerate(entries):
+        _check_cancel(cancel, index, total)
         value = load_entry(ring_name, slot_size, entry)
         if trace is None:
             result = _apply(fn, node_style, value)

@@ -19,6 +19,7 @@ __all__ = [
     "times10",
     "sleep_echo",
     "sleep_blob",
+    "log_completion",
     "spin",
     "invert_tile",
     "render_frame",
@@ -65,6 +66,31 @@ def sleep_blob(value: bytes) -> bytes:
     the shared-memory transport.
     """
     time.sleep(0.05)
+    return value
+
+
+def log_completion(value: Any) -> Any:
+    """Sleep, then append one completion record to ``$PANDO_COMPLETION_LOG``.
+
+    Record format: ``"<pid> <id> <monotonic>"`` per line, written with a
+    single ``O_APPEND`` write so concurrent worker processes never
+    interleave.  ``CLOCK_MONOTONIC`` is system-wide on Linux, so the
+    bounded-tail cancellation test can compare these child-side completion
+    times against the master's ``abort_fanout`` trace timestamp directly.
+    """
+    import os
+
+    if isinstance(value, dict) and "sleep" in value:
+        time.sleep(float(value["sleep"]))
+    path = os.environ.get("PANDO_COMPLETION_LOG")
+    if path:
+        ident = value.get("i") if isinstance(value, dict) else value
+        record = f"{os.getpid()} {ident} {time.monotonic()}\n"
+        fd = os.open(path, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644)
+        try:
+            os.write(fd, record.encode("utf-8"))
+        finally:
+            os.close(fd)
     return value
 
 

@@ -14,6 +14,10 @@ from .network import (
 from .failures import ChurnModel, FailureEvent, FailureSchedule
 from .metrics import MetricsCollector, ThroughputReport, WorkerMetrics
 
+# NOTE: like .scenario, the .matrix module is imported directly
+# (``repro.sim.matrix``) rather than re-exported here: both sit above the
+# master/devices layers, which this package is imported *by*.
+
 __all__ = [
     "VirtualClock",
     "ScheduledEvent",

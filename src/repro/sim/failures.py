@@ -19,15 +19,26 @@ __all__ = ["FailureEvent", "FailureSchedule", "ChurnModel"]
 
 @dataclass(frozen=True)
 class FailureEvent:
-    """A single crash (or rejoin) of a named volunteer."""
+    """A single crash, departure, (re)join or slowdown of a named volunteer.
+
+    ``factor`` only applies to ``"slowdown"`` events: it multiplies the
+    device's task durations from the event onward (2.0 = half speed), the
+    straggler regime of the paper's crypto-search evaluation.
+    """
 
     time: float
     worker_id: str
-    kind: str = "crash"  # "crash" | "leave" | "join"
+    kind: str = "crash"  # "crash" | "leave" | "join" | "slowdown"
+    factor: Optional[float] = None
 
     def __post_init__(self) -> None:
-        if self.kind not in ("crash", "leave", "join"):
+        if self.kind not in ("crash", "leave", "join", "slowdown"):
             raise ValueError(f"unknown failure event kind: {self.kind!r}")
+        if self.kind == "slowdown":
+            if self.factor is None or self.factor <= 0:
+                raise ValueError("slowdown events need a positive factor")
+        elif self.factor is not None:
+            raise ValueError(f"{self.kind} events do not take a factor")
 
 
 class FailureSchedule:
@@ -55,6 +66,18 @@ class FailureSchedule:
     def leave(self, time: float, worker_id: str) -> "FailureSchedule":
         """Convenience: schedule a graceful departure of *worker_id* at *time*."""
         return self.add(FailureEvent(time=time, worker_id=worker_id, kind="leave"))
+
+    def slowdown(self, time: float, worker_id: str, factor: float) -> "FailureSchedule":
+        """Convenience: make *worker_id* a straggler (``factor``× slower)."""
+        return self.add(
+            FailureEvent(time=time, worker_id=worker_id, kind="slowdown", factor=factor)
+        )
+
+    def extend(self, other: "FailureSchedule") -> "FailureSchedule":
+        """Merge *other*'s events into this schedule, keeping it sorted."""
+        self._events.extend(other._events)
+        self._events.sort(key=lambda item: item.time)
+        return self
 
     @property
     def events(self) -> List[FailureEvent]:
@@ -126,4 +149,112 @@ class ChurnModel:
                         FailureEvent(time=time, worker_id=worker_id, kind="join")
                     )
                     alive = True
+        return schedule
+
+    def waves(
+        self,
+        worker_ids: Sequence[str],
+        horizon: float,
+        period: float,
+        duty: float = 0.5,
+        jitter: float = 0.0,
+        participation: float = 1.0,
+        start: float = 0.0,
+    ) -> FailureSchedule:
+        """Diurnal churn: the fleet leaves and rejoins in periodic waves.
+
+        Every *period* virtual seconds a wave starts; each worker joins the
+        wave with probability *participation*, leaves near the wave front
+        and rejoins after ``duty * period`` (its "night").  *jitter* spreads
+        the individual departures/returns inside the wave; it is clamped so
+        every worker's events stay causally valid (leave strictly before
+        rejoin, rejoin strictly before the next wave's leave).
+        """
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if not 0.0 < duty < 1.0:
+            raise ValueError("duty must be in (0, 1)")
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        if not 0.0 <= participation <= 1.0:
+            raise ValueError("participation must be in [0, 1]")
+        off = duty * period
+        # Half the off-window and half the on-window bound the spread:
+        # leave < wave + off <= rejoin and rejoin < wave + period.
+        jitter = min(jitter, off / 2, (period - off) / 2)
+        schedule = FailureSchedule()
+        for worker_id in worker_ids:
+            wave = start
+            while wave < start + horizon:
+                wave_start = wave
+                wave += period
+                if participation < 1.0 and self._rng.random() >= participation:
+                    continue
+                spread = self._rng.uniform(0, jitter) if jitter > 0 else 0.0
+                leave_time = wave_start + spread
+                spread = self._rng.uniform(0, jitter) if jitter > 0 else 0.0
+                join_time = wave_start + off + spread
+                if leave_time >= start + horizon:
+                    break
+                schedule.leave(leave_time, worker_id)
+                if join_time >= start + horizon:
+                    break
+                schedule.join(join_time, worker_id)
+        return schedule
+
+    def partitions(
+        self,
+        worker_ids: Sequence[str],
+        windows: Sequence[tuple],
+        fraction: float = 1.0,
+    ) -> FailureSchedule:
+        """Network partitions that heal: whole groups vanish and return.
+
+        *windows* is a sequence of ``(begin, heal)`` pairs; during each one
+        every selected worker (probability *fraction*) goes silent at
+        ``begin`` — crash-stop, exactly what a partition looks like from the
+        master — and rejoins at ``heal``.  All members share the partition's
+        timestamps on purpose: simultaneous events are the stress case for
+        the scheduler's same-tick FIFO and the lender's rebalancing.
+        Windows must not overlap.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        ordered = sorted(windows, key=lambda window: window[0])
+        previous_heal = None
+        for begin, heal in ordered:
+            if begin >= heal:
+                raise ValueError(f"partition window ({begin}, {heal}) never heals")
+            if previous_heal is not None and begin < previous_heal:
+                raise ValueError("partition windows overlap")
+            previous_heal = heal
+        schedule = FailureSchedule()
+        for begin, heal in ordered:
+            for worker_id in worker_ids:
+                if fraction < 1.0 and self._rng.random() >= fraction:
+                    continue
+                schedule.crash(begin, worker_id)
+                schedule.join(heal, worker_id)
+        return schedule
+
+    def stragglers(
+        self,
+        worker_ids: Sequence[str],
+        time: float,
+        factor: float,
+        count: Optional[int] = None,
+    ) -> FailureSchedule:
+        """Skewed stragglers: slow a random subset down by *factor*.
+
+        Defaults to roughly a tenth of the fleet (at least one worker).
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        if count is None:
+            count = max(1, len(worker_ids) // 10)
+        if count > len(worker_ids):
+            raise ValueError("count exceeds the number of workers")
+        schedule = FailureSchedule()
+        for worker_id in self._rng.sample(list(worker_ids), count):
+            schedule.slowdown(time, worker_id, factor)
         return schedule

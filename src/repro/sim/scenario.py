@@ -71,6 +71,13 @@ class ScenarioConfig:
     #: deliver outputs in input order (False = unordered StreamLender)
     ordered: bool = True
     seed: Optional[int] = 42
+    #: lender shards on the master (1 = single master)
+    shards: int = 1
+    #: bounded split buffer per shard (requires ``shards > 1``)
+    split_buffer: Optional[int] = None
+    #: work units per device execution chunk; tasks poll the scenario's stop
+    #: request between chunks (bounded-tail cancellation); None = whole task
+    task_chunk: Optional[float] = None
 
     def resolved_devices(self) -> List[DeviceProfile]:
         return list(
@@ -125,7 +132,9 @@ class ScenarioResult:
 class DeploymentScenario:
     """Build and run one simulated Pando deployment."""
 
-    def __init__(self, config: ScenarioConfig) -> None:
+    def __init__(
+        self, config: ScenarioConfig, event_scheduler: Optional[Any] = None
+    ) -> None:
         self.config = config
         self.app = config.application
         self.scheduler = Scheduler()
@@ -138,6 +147,8 @@ class DeploymentScenario:
             if config.resolved_public_server()
             else None
         )
+        #: the EventLoopScheduler pumping the map (``run_on_loop``), or None
+        self.event_scheduler = event_scheduler
         self.master = PandoMaster(
             bundle_function(
                 self.app.processing_function(),
@@ -150,26 +161,59 @@ class DeploymentScenario:
                 ordered=config.ordered,
                 heartbeat_interval=config.heartbeat_interval,
                 heartbeat_timeout=config.heartbeat_timeout,
+                shards=config.shards,
+                split_buffer=config.split_buffer,
             ),
             scheduler=self.scheduler,
             network=self.network,
             public_server=self.public_server,
             metrics=self.metrics,
             host="master",
+            event_scheduler=event_scheduler,
         )
         self.volunteers: Dict[str, SimVolunteer] = {}
+        #: every volunteer ever built, including replaced rejoin incarnations
+        self.incarnations: List[SimVolunteer] = []
+        self._rejoin_counts: Dict[str, int] = {}
+        self._serve_url: Optional[str] = None
+        self._stop = False
+        #: virtual time at which the output sink completed / aborted, if any
+        self.completed_virtual: Optional[float] = None
+        self.aborted_virtual: Optional[float] = None
+        self._wire_links()
         self._build_volunteers()
 
     # ------------------------------------------------------------- building
+    def _wire_links(self) -> None:
+        """Heterogeneous latency mixes: a device whose profile names a
+        different setting than the deployment's gets a master link with that
+        setting's latency profile (LAN workers next to WAN stragglers)."""
+        default_setting = self.config.setting.lower()
+        for profile in self.config.resolved_devices():
+            setting = (profile.setting or default_setting).lower()
+            if setting != default_setting:
+                self.network.set_link(
+                    self.master.host, profile.name, profile_for_setting(setting)
+                )
+
     def _build_volunteers(self) -> None:
         for profile in self.config.resolved_devices():
             tabs = self.config.tabs.get(profile.name, profile.cores)
             volunteer = SimVolunteer(
                 profile, self.scheduler, host=profile.name, tabs=tabs
             )
+            self._prepare_device(volunteer)
             self.volunteers[profile.name] = volunteer
+            self.incarnations.append(volunteer)
+
+    def _prepare_device(self, volunteer: SimVolunteer) -> None:
+        device = volunteer.device
+        if self.config.task_chunk is not None:
+            device.task_chunk = self.config.task_chunk
+        device.stop_check = lambda: self._stop
 
     def _schedule_joins(self, url: str) -> None:
+        self._serve_url = url
         for name, volunteer in self.volunteers.items():
             join_time = self.config.join_times.get(name, 0.0)
             if self.public_server is not None:
@@ -183,19 +227,72 @@ class DeploymentScenario:
         schedule = self.config.failure_schedule
         if schedule is None:
             return
+        departed: set = set()
         for event in schedule:
-            volunteer = self.volunteers.get(event.worker_id)
-            if volunteer is None:
+            name = event.worker_id
+            if name not in self.volunteers:
                 raise DeploymentError(
-                    f"failure schedule references unknown device {event.worker_id!r}"
+                    f"failure schedule references unknown device {name!r}"
                 )
             if event.kind == "crash":
-                self.scheduler.call_at(event.time, volunteer.crash)
+                self.scheduler.call_at(event.time, self._crash_volunteer, name)
+                departed.add(name)
             elif event.kind == "leave":
-                self.scheduler.call_at(event.time, volunteer.leave)
+                self.scheduler.call_at(event.time, self._leave_volunteer, name)
+                departed.add(name)
+            elif event.kind == "slowdown":
+                self.scheduler.call_at(
+                    event.time, self._slow_volunteer, name, event.factor
+                )
             elif event.kind == "join":
-                # Override/add a join time.
-                self.config.join_times[event.worker_id] = event.time
+                if name in departed:
+                    # A join after a crash/leave is a *rejoin*: a fresh
+                    # incarnation built at fire time (the master never
+                    # reuses a worker id, so the device name is suffixed).
+                    self.scheduler.call_at(event.time, self._rejoin_volunteer, name)
+                else:
+                    # A plain join only overrides the initial join time.
+                    self.config.join_times[name] = event.time
+
+    # The handlers below look the volunteer up at *fire* time, so churn
+    # events always target the current incarnation of the named host.
+    def _crash_volunteer(self, name: str) -> None:
+        self.volunteers[name].crash()
+
+    def _leave_volunteer(self, name: str) -> None:
+        self.volunteers[name].leave()
+
+    def _slow_volunteer(self, name: str, factor: float) -> None:
+        self.volunteers[name].device.set_speed_factor(factor)
+
+    def _rejoin_volunteer(self, name: str) -> None:
+        previous = self.volunteers[name]
+        count = self._rejoin_counts.get(name, 0) + 1
+        self._rejoin_counts[name] = count
+        tabs = self.config.tabs.get(name, previous.profile.cores)
+        volunteer = SimVolunteer(
+            previous.profile,
+            self.scheduler,
+            host=name,
+            tabs=tabs,
+            device_name=f"{name}+{count}",
+        )
+        self._prepare_device(volunteer)
+        self.volunteers[name] = volunteer
+        self.incarnations.append(volunteer)
+        if self.public_server is not None and self._serve_url is not None:
+            volunteer.join_url(self._serve_url, self.public_server)
+        else:
+            volunteer.join(self.master)
+
+    # ------------------------------------------------------------- stopping
+    def request_stop(self) -> None:
+        """Ask every device to abandon work at its next chunk boundary."""
+        self._stop = True
+
+    @property
+    def stop_requested(self) -> bool:
+        return self._stop
 
     # ------------------------------------------------------------ execution
     def run_measurement(self) -> ScenarioResult:
@@ -250,6 +347,80 @@ class DeploymentScenario:
             report=report,
             outputs=list(sink_result.value),
             completed_at=self.scheduler.now,
+        )
+
+    def run_on_loop(
+        self,
+        inputs: Iterable[Any],
+        wrap: bool = True,
+        sink: Optional[Any] = None,
+        timeout: Optional[float] = None,
+        drain_for: float = 0.0,
+    ):
+        """Drive the deployment through a ``SimEventSource`` on the event loop.
+
+        The scenario must have been built with an ``event_scheduler`` (an
+        :class:`~repro.sched.EventLoopScheduler`); the simulation clock is
+        registered as an unpaced source, so virtual time advances as fast as
+        the loop dispatches — and real (wall-clock) sources such as process
+        pools attached to the master pump in the same rounds.  This is the
+        scenario-matrix execution mode.
+
+        *sink* defaults to ``collect()``; pass e.g. ``find(...)`` for abort
+        scenarios.  *timeout* bounds the **wall-clock** run.  *drain_for*
+        keeps simulating that much virtual time after the sink completes, so
+        post-abort tails and pending heartbeat suspicions become observable.
+        Returns the completed :class:`~repro.pullstream.sinks.SinkResult`
+        (``scenario_result()`` builds the report afterwards).
+        """
+        loop = self.event_scheduler
+        if loop is None:
+            raise DeploymentError(
+                "run_on_loop requires the scenario to be built with "
+                "event_scheduler=EventLoopScheduler(...)"
+            )
+        values = [self.app.wrap_input(v) if wrap else v for v in inputs]
+        url = self.master.serve()
+        self._schedule_failures()
+        self._schedule_joins(url)
+        sink_result = pull(
+            from_iterable(values),
+            self.master,
+            sink if sink is not None else collect(),
+        )
+
+        def stamp(result: Any) -> None:
+            # Runs the instant the sink completes — inside the sim dispatch
+            # for a volunteer-delivered value — so `now` is the virtual
+            # completion/abort time.  An abort also requests the device
+            # stop, which chunked tasks observe at their next boundary.
+            self.completed_virtual = self.scheduler.now
+            if result.aborted:
+                self.aborted_virtual = self.scheduler.now
+                self.request_stop()
+
+        sink_result.on_done(stamp)
+        self.metrics.start_window(self.scheduler.now)
+        loop.register_sim(self.scheduler)
+        self.master.distributed_map.drive(sink_result, timeout=timeout)
+        if drain_for > 0.0:
+            self.scheduler.run_for(drain_for)
+        self.metrics.end_window(self.scheduler.now)
+        self.master.shutdown()
+        return sink_result
+
+    def scenario_result(self, sink_result: Any) -> ScenarioResult:
+        """Build the :class:`ScenarioResult` for a finished ``run_on_loop``."""
+        value = sink_result.value
+        if value is None:
+            outputs: Optional[List[Any]] = None
+        elif isinstance(value, list):
+            outputs = list(value)
+        else:
+            outputs = [value]
+        report = self.metrics.report(self.app.name, self.config.setting)
+        return self._result(
+            report=report, outputs=outputs, completed_at=self.completed_virtual
         )
 
     # ------------------------------------------------------------- reporting

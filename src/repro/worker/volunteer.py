@@ -74,11 +74,14 @@ class SimVolunteer:
         scheduler: Scheduler,
         host: Optional[str] = None,
         tabs: Optional[int] = None,
+        device_name: Optional[str] = None,
     ) -> None:
         self.profile = profile
         self.scheduler = scheduler
         self.host = host or profile.name
-        self.device = SimDevice(profile, scheduler)
+        # device_name distinguishes rejoin incarnations of the same host:
+        # the master never reuses a worker id, so each return needs its own.
+        self.device = SimDevice(profile, scheduler, name=device_name)
         self.requested_tabs = tabs if tabs is not None else profile.cores
         self.tabs: Dict[int, BrowserTab] = {}
         self.joined = False

@@ -268,3 +268,38 @@ class TestObservabilityFlags:
         assert "Serving metrics" not in captured.err
         assert not [line for line in captured.err.splitlines()
                     if line.startswith("{")]
+
+
+class TestSimulateSubcommand:
+    def test_list_names_the_whole_catalogue(self, capsys):
+        assert main(["simulate", "--matrix", "--list"]) == 0
+        names = capsys.readouterr().out.split()
+        assert "golden" in names
+        assert "abort-skew" in names
+        assert "ordered-single-pipe" in names
+        assert len(names) == 11
+
+    def test_single_cell_run_reports_ok(self, capsys):
+        code = main(["simulate", "--matrix", "--cell", "golden"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("[ok] golden: 32 output(s)")
+
+    def test_json_summary_with_overrides(self, capsys):
+        code = main(["simulate", "--matrix", "--cell", "golden", "--json",
+                     "--inputs", "8"])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["cell"] == "golden"
+        assert summary["outputs"] == 8
+        assert summary["violations"] == []
+
+    def test_unknown_cell_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--matrix", "--cell", "nope"])
+        assert "unknown cell" in capsys.readouterr().err
+
+    def test_matrix_flag_is_required(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate"])
+        assert "--matrix" in capsys.readouterr().err

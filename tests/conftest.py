@@ -9,6 +9,24 @@ from repro.sim.network import LAN_PROFILE, NetworkModel
 from repro.sim.scheduler import Scheduler
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-slow",
+        action="store_true",
+        default=False,
+        help="run tests marked @pytest.mark.slow (the full scenario matrix)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-slow"):
+        return
+    skip_slow = pytest.mark.skip(reason="needs --run-slow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
+
+
 @pytest.fixture
 def scheduler() -> Scheduler:
     """A fresh virtual-time scheduler."""

@@ -1,0 +1,160 @@
+"""Unit tests for the failure-injection layer (events, schedules, churn)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.failures import ChurnModel, FailureEvent, FailureSchedule
+
+
+# ------------------------------------------------------------ FailureEvent
+def test_event_kinds_are_validated():
+    with pytest.raises(ValueError, match="unknown failure event kind"):
+        FailureEvent(time=1.0, worker_id="w", kind="explode")
+
+
+def test_slowdown_requires_positive_factor():
+    with pytest.raises(ValueError, match="positive factor"):
+        FailureEvent(time=1.0, worker_id="w", kind="slowdown")
+    with pytest.raises(ValueError, match="positive factor"):
+        FailureEvent(time=1.0, worker_id="w", kind="slowdown", factor=0.0)
+    event = FailureEvent(time=1.0, worker_id="w", kind="slowdown", factor=2.0)
+    assert event.factor == 2.0
+
+
+def test_non_slowdown_events_reject_a_factor():
+    for kind in ("crash", "leave", "join"):
+        with pytest.raises(ValueError, match="do not take a factor"):
+            FailureEvent(time=1.0, worker_id="w", kind=kind, factor=2.0)
+
+
+# --------------------------------------------------------- FailureSchedule
+def test_empty_schedule_iterates_to_nothing():
+    schedule = FailureSchedule()
+    assert len(schedule) == 0
+    assert list(schedule) == []
+    assert schedule.events_for("anyone") == []
+
+
+def test_schedule_keeps_events_sorted_by_time():
+    schedule = FailureSchedule()
+    schedule.crash(5.0, "late")
+    schedule.leave(1.0, "early")
+    schedule.slowdown(3.0, "mid", factor=2.0)
+    assert [event.time for event in schedule] == [1.0, 3.0, 5.0]
+
+
+def test_duplicate_timestamps_preserve_insertion_order():
+    """Simultaneous events (a healing partition) keep FIFO order: the sort
+    is stable, so a crash added before a join at the same instant stays
+    before it — which is what makes crash-then-rejoin at one timestamp a
+    rejoin rather than a join-then-crash."""
+    schedule = FailureSchedule()
+    schedule.crash(2.0, "a")
+    schedule.join(2.0, "a")
+    schedule.crash(2.0, "b")
+    kinds = [(event.worker_id, event.kind) for event in schedule]
+    assert kinds == [("a", "crash"), ("a", "join"), ("b", "crash")]
+
+
+def test_extend_merges_and_resorts():
+    first = FailureSchedule().crash(4.0, "a")
+    second = FailureSchedule().leave(1.0, "b").join(9.0, "b")
+    first.extend(second)
+    assert [event.time for event in first] == [1.0, 4.0, 9.0]
+    assert len(second) == 2  # the source schedule is not consumed
+
+
+def test_events_for_filters_by_worker():
+    schedule = FailureSchedule().crash(1.0, "a").leave(2.0, "b").join(3.0, "a")
+    assert [event.kind for event in schedule.events_for("a")] == ["crash", "join"]
+
+
+# ----------------------------------------------------------- ChurnModel
+def test_churn_model_crash_before_any_join_is_expressible():
+    """A schedule may crash a worker before its (re)join: the scenario
+    treats the later join as a rejoin of the departed host."""
+    schedule = FailureSchedule().crash(0.5, "w").join(2.0, "w")
+    kinds = [event.kind for event in schedule]
+    assert kinds == ["crash", "join"]
+
+
+def test_waves_validate_parameters():
+    model = ChurnModel(mean_uptime=10.0, seed=1)
+    with pytest.raises(ValueError, match="period"):
+        model.waves(["w"], horizon=10.0, period=0.0)
+    with pytest.raises(ValueError, match="duty"):
+        model.waves(["w"], horizon=10.0, period=5.0, duty=1.0)
+    with pytest.raises(ValueError, match="jitter"):
+        model.waves(["w"], horizon=10.0, period=5.0, jitter=-1.0)
+    with pytest.raises(ValueError, match="participation"):
+        model.waves(["w"], horizon=10.0, period=5.0, participation=1.5)
+
+
+def test_waves_alternate_leave_join_per_worker():
+    model = ChurnModel(mean_uptime=10.0, seed=7)
+    schedule = model.waves(
+        ["a", "b"], horizon=30.0, period=10.0, duty=0.5, jitter=2.0
+    )
+    for worker in ("a", "b"):
+        events = schedule.events_for(worker)
+        kinds = [event.kind for event in events]
+        # leave, join, leave, join, ... possibly truncated at the horizon
+        assert kinds == (["leave", "join"] * 3)[: len(kinds)]
+        times = [event.time for event in events]
+        assert times == sorted(times)
+        assert all(time < 30.0 for time in times)
+
+
+def test_waves_participation_zero_yields_empty_schedule():
+    model = ChurnModel(mean_uptime=10.0, seed=7)
+    schedule = model.waves(["a"], horizon=30.0, period=10.0, participation=0.0)
+    assert len(schedule) == 0
+
+
+def test_partitions_emit_shared_timestamps():
+    model = ChurnModel(mean_uptime=10.0, seed=7)
+    schedule = model.partitions(["a", "b"], [(5.0, 8.0)])
+    crashes = [event for event in schedule if event.kind == "crash"]
+    joins = [event for event in schedule if event.kind == "join"]
+    assert {event.time for event in crashes} == {5.0}
+    assert {event.time for event in joins} == {8.0}
+    assert {event.worker_id for event in crashes} == {"a", "b"}
+
+
+def test_partitions_reject_bad_windows():
+    model = ChurnModel(mean_uptime=10.0, seed=7)
+    with pytest.raises(ValueError, match="never heals"):
+        model.partitions(["a"], [(5.0, 5.0)])
+    with pytest.raises(ValueError, match="overlap"):
+        model.partitions(["a"], [(1.0, 4.0), (3.0, 6.0)])
+    with pytest.raises(ValueError, match="fraction"):
+        model.partitions(["a"], [(1.0, 2.0)], fraction=2.0)
+
+
+def test_stragglers_slow_a_bounded_subset():
+    model = ChurnModel(mean_uptime=10.0, seed=7)
+    workers = [f"w{i}" for i in range(20)]
+    schedule = model.stragglers(workers, time=1.0, factor=4.0)
+    events = list(schedule)
+    assert len(events) == 2  # a tenth of twenty
+    assert all(event.kind == "slowdown" and event.factor == 4.0 for event in events)
+    with pytest.raises(ValueError, match="count exceeds"):
+        model.stragglers(["a"], time=0.0, factor=2.0, count=2)
+    with pytest.raises(ValueError, match="factor"):
+        model.stragglers(["a"], time=0.0, factor=0.0)
+
+
+def test_churn_model_is_seed_deterministic():
+    def build(seed):
+        model = ChurnModel(mean_uptime=10.0, seed=seed)
+        return [
+            (event.time, event.worker_id, event.kind)
+            for event in model.waves(
+                ["a", "b", "c"], horizon=50.0, period=10.0, jitter=2.0,
+                participation=0.7,
+            )
+        ]
+
+    assert build(3) == build(3)
+    assert build(3) != build(4)

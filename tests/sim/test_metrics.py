@@ -1,0 +1,101 @@
+"""Unit tests for the per-worker throughput/utilisation metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.metrics import MetricsCollector, WorkerMetrics
+
+
+# ---------------------------------------------------------- WorkerMetrics
+def test_worker_metrics_accumulate_and_timestamp():
+    metrics = WorkerMetrics("w")
+    metrics.record(timestamp=1.0, duration=0.5)
+    metrics.record(timestamp=3.0, duration=0.25, items=4)
+    assert metrics.items_processed == 5
+    assert metrics.compute_time == pytest.approx(0.75)
+    assert metrics.first_item_at == 1.0
+    assert metrics.last_item_at == 3.0
+
+
+def test_throughput_and_utilisation_guard_zero_windows():
+    metrics = WorkerMetrics("w")
+    metrics.record(timestamp=0.0, duration=10.0, items=5)
+    assert metrics.throughput(0.0) == 0.0
+    assert metrics.utilisation(-1.0) == 0.0
+    assert metrics.throughput(2.5) == pytest.approx(2.0)
+    # compute_time beyond the window caps at full utilisation
+    assert metrics.utilisation(5.0) == 1.0
+    assert metrics.utilisation(20.0) == pytest.approx(0.5)
+
+
+# ------------------------------------------------------- MetricsCollector
+def make_collector():
+    collector = MetricsCollector()
+    collector.start_window(0.0)
+    collector.record_work("fast", timestamp=1.0, duration=0.2, items=6)
+    collector.record_work("slow", timestamp=2.0, duration=0.8, items=2)
+    collector.record_output(items=8)
+    collector.end_window(4.0)
+    return collector
+
+
+def test_report_requires_a_closed_window():
+    collector = MetricsCollector()
+    collector.start_window(0.0)
+    with pytest.raises(ValueError, match="end_window"):
+        collector.report("app", "lan")
+
+
+def test_report_reconciles_workers_and_output():
+    report = make_collector().report("matrix_search", "lan")
+    assert report.window == pytest.approx(4.0)
+    assert report.per_worker_items == {"fast": 6, "slow": 2}
+    assert report.total_items == 8
+    assert report.per_worker_throughput == {
+        "fast": pytest.approx(1.5),
+        "slow": pytest.approx(0.5),
+    }
+    assert report.total_throughput == pytest.approx(2.0)
+    # Shares are percentages and sum to 100 (paper Figure 4's y-axis).
+    assert report.per_worker_share == {
+        "fast": pytest.approx(75.0),
+        "slow": pytest.approx(25.0),
+    }
+    assert sum(report.per_worker_share.values()) == pytest.approx(100.0)
+    # "the total of all devices corresponded to the throughput observed at
+    # the output of Pando" (section 5.1)
+    assert report.output_items == report.total_items
+    assert report.output_throughput == pytest.approx(report.total_throughput)
+
+
+def test_disabled_collector_ignores_records():
+    collector = MetricsCollector()
+    collector.start_window(0.0)
+    collector.end_window(1.0)  # end_window disables collection
+    collector.record_work("late", timestamp=2.0, duration=0.1)
+    collector.record_output()
+    report = collector.report("app", "lan")
+    assert report.total_items == 0
+    assert report.output_items == 0
+    assert report.per_worker_share == {}
+
+
+def test_empty_window_yields_zero_rates_not_division_errors():
+    collector = MetricsCollector()
+    collector.start_window(5.0)
+    collector.record_work("w", timestamp=5.0, duration=0.0, items=3)
+    collector.end_window(5.0)  # zero-length window
+    report = collector.report("app", "lan")
+    assert report.total_throughput == 0.0
+    assert report.output_throughput == 0.0
+    assert report.per_worker_share == {"w": 0.0}
+
+
+def test_as_dict_round_trips_report_fields():
+    report = make_collector().report("matrix_search", "vpn")
+    payload = report.as_dict()
+    assert payload["application"] == "matrix_search"
+    assert payload["setting"] == "vpn"
+    assert payload["per_worker_items"] == {"fast": 6, "slow": 2}
+    assert payload["output_items"] == 8
